@@ -1,0 +1,94 @@
+"""E17 — Extension: access granularity and the 256-byte commands.
+
+Table I's headline additions are the 256-byte read/write commands.
+Why they matter: every packet pays one FLIT of header/tail overhead,
+so round-trip payload efficiency (data FLITs over request+response
+FLITs) is 33 % for a 16-byte read but 89 % for a 256-byte read.  This experiment measures the
+delivered *payload* bandwidth of a windowed streaming read workload at
+every access granule, holding the byte footprint constant, and checks
+the measured efficiency curve against the analytic FLIT model.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.hmc.commands import command_info, hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.window import WindowedEngine
+
+FOOTPRINT = 16 * 1024  # bytes streamed per thread
+THREADS = 4
+WINDOW = 8
+
+GRANULES = [16, 32, 64, 128, 256]
+
+
+def _payload_rate(granule: int) -> float:
+    """Delivered payload bytes per cycle for one access granule."""
+    cfg = HMCConfig.cfg_4link_4gb(bsize=max(64, min(granule, 256)))
+    sim = HMCSim(cfg)
+    reads_per_thread = FOOTPRINT // granule
+
+    def program(ctx, base):
+        addr = base
+        remaining = reads_per_thread
+        while remaining:
+            batch = min(WINDOW, remaining)
+            yield [ctx.read(addr + i * granule, granule) for i in range(batch)]
+            addr += batch * granule
+            remaining -= batch
+
+    engine = WindowedEngine(sim, window=WINDOW)
+    for t in range(THREADS):
+        engine.add_thread(lambda ctx, t=t: program(ctx, t * (1 << 20)))
+    result = engine.run()
+    return THREADS * FOOTPRINT / result.total_cycles
+
+
+def _flit_efficiency(granule: int) -> float:
+    """Analytic payload fraction: data FLITs / total FLITs moved."""
+    rd = {16: "RD16", 32: "RD32", 64: "RD64", 128: "RD128", 256: "RD256"}[granule]
+    info = command_info(hmc_rqst_t[rd])
+    data_flits = granule // 16
+    total = (info.rqst_flits or 0) + (info.rsp_flits or 0)
+    return data_flits / total
+
+
+def test_ext_blocksize(benchmark, artifact_dir):
+    benchmark.pedantic(lambda: _payload_rate(64), rounds=1, iterations=1)
+
+    rows = []
+    rates = {}
+    for g in GRANULES:
+        rate = _payload_rate(g)
+        rates[g] = rate
+        rows.append(
+            (
+                g,
+                f"{rate:.1f} B/cyc",
+                f"{100 * _flit_efficiency(g):.0f}%",
+            )
+        )
+
+    # Larger granules must deliver more payload per cycle, and the
+    # 256-byte command must beat the 16-byte command by a wide margin
+    # (the analytic efficiency gap is 94% vs 50%, and fewer packets
+    # also means fewer per-packet response slots consumed).
+    assert rates[256] > rates[64] > rates[16]
+    assert rates[256] / rates[16] > 3.0
+
+    text = (
+        f"Access-granule study: streaming reads, {THREADS} threads x "
+        f"{FOOTPRINT} bytes, window {WINDOW}\n"
+    )
+    text += format_table(
+        ["granule (B)", "payload bandwidth", "FLIT efficiency (analytic)"],
+        rows,
+    )
+    text += (
+        "\n\nThe Gen2 256-byte commands (Table I) exist for exactly this "
+        "curve: header/tail overhead is one FLIT per packet, so payload "
+        "efficiency climbs from 33% (RD16) to 89% (RD256)."
+    )
+    emit(artifact_dir, "ext_blocksize", text)

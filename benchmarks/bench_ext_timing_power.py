@@ -1,0 +1,77 @@
+"""E12 — Future-work extension (§VII): timing and power resolution.
+
+The paper's future work proposes distilling public Gen2 device data
+into "the timing and power characteristics of an arbitrary HMC
+device".  This bench exercises the opt-in models: the same mutex
+workload with and without DRAM timing attached (the timing model must
+slow the hot-spot workload down and surface bank conflicts), and a
+mixed kernel under the power model with a per-operation energy
+breakdown.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.cmc_ops.mutex import load_mutex_ops
+from repro.hmc.config import HMCConfig
+from repro.hmc.power import HMCPowerModel
+from repro.hmc.sim import HMCSim
+from repro.hmc.timing import HMCTimingModel
+from repro.host.kernels.histogram import run_histogram
+from repro.host.kernels.mutex_kernel import run_mutex_workload
+
+THREADS = 32
+
+
+def _timed_mutex(timing):
+    cfg = HMCConfig.cfg_4link_4gb()
+    sim = HMCSim(cfg, timing=timing)
+    load_mutex_ops(sim)
+    return run_mutex_workload(cfg, THREADS, sim=sim)
+
+
+def test_ext_timing_power(benchmark, artifact_dir):
+    baseline = benchmark.pedantic(
+        lambda: _timed_mutex(None), rounds=1, iterations=1
+    )
+    timed = _timed_mutex(HMCTimingModel(t_cl=2, t_rcd=2, t_rp=2))
+    # DRAM timing must cost cycles on a bank-hot-spot workload.
+    assert timed.max_cycle > baseline.max_cycle
+    assert timed.avg_cycle > baseline.avg_cycle
+
+    rows = [
+        ("baseline (no timing)", baseline.max_cycle, f"{baseline.avg_cycle:.2f}"),
+        ("open-page DRAM timing", timed.max_cycle, f"{timed.avg_cycle:.2f}"),
+    ]
+    text = f"Timing extension: Algorithm 1 at {THREADS} threads, 4Link-4GB\n"
+    text += format_table(["model", "max_cycle", "avg_cycle"], rows)
+
+    # Power accounting on a mixed atomic workload.
+    cfg = HMCConfig.cfg_4link_4gb()
+    sim = HMCSim(cfg, power=HMCPowerModel())
+    from repro.host.engine import HostEngine
+
+    def program(ctx):
+        yield ctx.write(ctx.tid * 64, bytes(64))
+        yield ctx.inc8(ctx.tid * 64)
+        yield ctx.read(ctx.tid * 64, 64)
+
+    engine = HostEngine(sim)
+    engine.add_threads(8, program)
+    engine.run()
+    report = sim.power_report
+    assert report.total_pj > 0
+    assert set(report.ops) == {"WR64", "INC8", "RD64"}
+    # An INC8 is cheaper than the RD64 it replaces in RMW protocols.
+    assert report.average_pj("INC8") < report.average_pj("RD64")
+
+    text += "\n\nPower extension: per-op energy (8 threads x WR64+INC8+RD64)\n"
+    text += format_table(
+        ["op", "count", "total pJ", "avg pJ"],
+        [
+            (op, report.ops[op], f"{report.energy_pj[op]:.1f}",
+             f"{report.average_pj(op):.1f}")
+            for op in sorted(report.ops)
+        ],
+    )
+    emit(artifact_dir, "ext_timing_power", text)

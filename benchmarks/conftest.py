@@ -1,0 +1,54 @@
+"""Shared fixtures for the paper-regeneration benchmarks.
+
+The three figures and Table VI are views of one sweep (Algorithm 1,
+threads 2..100, both configurations), so the sweep is computed once
+per session and shared.  Set ``REPRO_SWEEP_STEP=<k>`` to thin the
+thread axis (every k-th count, always including 2, 99, and 100) for
+quick runs; the default regenerates the paper's full axis.
+
+Every benchmark also writes its regenerated artifact to
+``benchmarks/out/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis.sweep import PAPER_THREAD_RANGE, MutexSweep, run_mutex_sweep
+from repro.hmc.config import HMCConfig
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def thread_axis() -> List[int]:
+    step = int(os.environ.get("REPRO_SWEEP_STEP", "1"))
+    if step <= 1:
+        return list(PAPER_THREAD_RANGE)
+    counts = sorted(set(list(PAPER_THREAD_RANGE)[::step]) | {2, 99, 100})
+    return counts
+
+
+@pytest.fixture(scope="session")
+def sweeps() -> List[MutexSweep]:
+    """[4Link-4GB sweep, 8Link-8GB sweep] over the configured axis."""
+    axis = thread_axis()
+    return [
+        run_mutex_sweep(HMCConfig.cfg_4link_4gb(), axis),
+        run_mutex_sweep(HMCConfig.cfg_8link_8gb(), axis),
+    ]
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(artifact_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under benchmarks/out."""
+    print(f"\n=== {name} ===\n{text}\n")
+    (artifact_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Multi-cube topologies: CUB-routed requests across a device chain.
+
+HMC-Sim 1.0 supported chaining devices "in a multitude of different
+topologies" (§II); this example builds a four-cube daisy chain,
+spreads data across all cubes, and shows latency growing with hop
+count while CMC operations (the mutex set) work transparently on any
+cube in the chain.
+
+Run:  python examples/chained_cubes.py
+"""
+
+from repro import HMCConfig, HMCSim, hmc_rqst_t
+from repro.analysis.tables import format_table
+from repro.cmc_ops.mutex import (
+    build_lock,
+    build_unlock,
+    decode_lock_response,
+    init_lock,
+    load_mutex_ops,
+)
+
+
+def roundtrip(sim, pkt, dev=0):
+    sim.send(pkt, dev=dev)
+    start = sim.cycle
+    while True:
+        sim.clock()
+        rsp = sim.recv(dev=dev)
+        if rsp is not None:
+            return rsp, sim.cycle - start
+
+
+def main():
+    sim = HMCSim(HMCConfig(num_devs=4, capacity=2))
+    load_mutex_ops(sim)
+    print(f"chain of {sim.config.num_devs} cubes x {sim.config.capacity} GB, "
+          f"hop latency {sim.topology.hop_cycles} cycles/hop\n")
+
+    # Write a tagged block to each cube, all injected on cube 0.
+    rows = []
+    for cub in range(4):
+        data = bytes([0xA0 + cub]) * 16
+        pkt = sim.build_memrequest(hmc_rqst_t.WR16, 0x1000, cub, cub=cub, data=data)
+        rsp, cycles = roundtrip(sim, pkt)
+        rows.append((cub, abs(cub - 0), cycles, f"0x{data[:2].hex()}"))
+    print(format_table(["target cube", "hops", "round-trip cycles", "data"], rows))
+    print("   -> latency grows with hop count; cube 0 is the local fast path.\n")
+
+    # Verify each cube holds its own copy (per-cube address spaces).
+    for cub in range(4):
+        got = sim.mem_read(0x1000, 16, dev=cub)
+        assert got == bytes([0xA0 + cub]) * 16
+    print("per-cube data verified: same local address, four distinct blocks")
+
+    # A CMC mutex living on the far cube, locked from cube 0.
+    init_lock(sim, 0x40, dev=3)
+    rsp, cycles = roundtrip(sim, build_lock(sim, 0x40, 100, tid=7, cub=3))
+    print(f"\nhmc_lock on cube 3 from cube 0: acquired="
+          f"{decode_lock_response(rsp.data)} in {cycles} cycles")
+    rsp, _ = roundtrip(sim, build_unlock(sim, 0x40, 101, tid=7, cub=3))
+    assert decode_lock_response(rsp.data) == 1
+    print("hmc_unlock on cube 3: released")
+
+    print(f"\ntopology stats: {sim.topology.forwarded_requests} requests and "
+          f"{sim.topology.forwarded_responses} responses forwarded")
+
+
+if __name__ == "__main__":
+    main()

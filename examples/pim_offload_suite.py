@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Processing-in-memory offload study: when do atomics and CMC ops win?
+
+Runs the three offload comparisons the literature around the paper
+makes, on live simulations:
+
+* shared-counter histogram — host read-modify-write vs ``INC8`` vs
+  posted ``P_INC8`` (the Table II argument as a workload);
+* RandomAccess (GUPS) — host RMW vs ``XOR16`` atomic offload
+  (HMC-Sim 1.0's pathological random kernel);
+* BFS check-and-update — host RMW vs ``CASEQ8`` offload (the
+  related-work [10] graph-traversal case study).
+
+Run:  python examples/pim_offload_suite.py
+"""
+
+from repro import HMCConfig
+from repro.analysis.tables import format_table
+from repro.host.kernels.bfs import run_bfs
+from repro.host.kernels.gups import run_gups
+from repro.host.kernels.histogram import run_histogram
+
+
+def main():
+    cfg = HMCConfig.cfg_4link_4gb()
+
+    print("1) Histogram: shared counters, 16 threads")
+    rows = []
+    for mode in ("rmw", "atomic", "posted"):
+        h = run_histogram(cfg, mode=mode, num_threads=16, samples_per_thread=32)
+        rows.append(
+            (mode, h.cycles, f"{h.flits_per_sample:.1f}",
+             "exact" if h.exact else f"LOST {h.lost_updates} updates!")
+        )
+    print(format_table(["mode", "cycles", "flits/sample", "correctness"], rows))
+    print("   -> RMW on shared counters is not just slower: it drops "
+          "increments under contention.\n")
+
+    print("2) RandomAccess (GUPS): 16 threads, 256 updates")
+    rows = []
+    for atomic in (False, True):
+        g = run_gups(cfg, num_threads=16, updates_per_thread=16, use_atomic=atomic)
+        rows.append(
+            (g.mode, g.cycles, g.requests, f"{g.updates_per_cycle:.3f}",
+             "ok" if g.verified else "MISMATCH")
+        )
+    print(format_table(["mode", "cycles", "requests", "upd/cycle", "verify"], rows))
+    print("   -> XOR16 halves the packet count and roughly doubles "
+          "throughput on the scatter kernel.\n")
+
+    print("3) BFS check-and-update: 192-vertex scale-free graph")
+    rows = []
+    for cas in (False, True):
+        b = run_bfs(cfg, num_vertices=192, avg_degree=4, use_cas=cas)
+        rows.append(
+            (b.mode, b.edges, b.levels, b.requests, b.flits,
+             f"{b.flits / b.edges:.2f}", "ok" if b.verified else "MISMATCH")
+        )
+    print(format_table(
+        ["mode", "edges", "levels", "requests", "flits", "flits/edge", "verify"],
+        rows,
+    ))
+    print("   -> CASEQ8 offload cuts kernel bandwidth per traversed edge, "
+          "the related-work [10] result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: drive an HMC Gen2 device and load a CMC operation.
+
+Walks the core API end to end:
+
+1. build a 4Link-4GB simulation context (the paper's configuration);
+2. issue plain writes/reads and a Gen2 atomic (INC8);
+3. load the ``hmc_lock`` Custom Memory Cube plugin and issue it;
+4. show the trace output with the CMC op resolved by name.
+
+Run:  python examples/quickstart.py
+"""
+
+import io
+
+from repro import HMCConfig, HMCSim, TraceLevel, hmc_rqst_t
+from repro.cmc_ops.mutex import build_lock, decode_lock_response, init_lock
+
+
+def roundtrip(sim, pkt, link=0):
+    """Send one request and clock until its response retires."""
+    sim.send(pkt, link=link)
+    while True:
+        sim.clock()
+        rsp = sim.recv(link=link)
+        if rsp is not None:
+            return rsp
+
+
+def main():
+    sim = HMCSim(HMCConfig.cfg_4link_4gb())
+    trace = io.StringIO()
+    sim.trace_handle(trace)
+    sim.trace_level(TraceLevel.CMD | TraceLevel.LATENCY)
+
+    # --- plain write + read --------------------------------------------------
+    data = bytes(range(16))
+    rsp = roundtrip(sim, sim.build_memrequest(hmc_rqst_t.WR16, 0x1000, 1, data=data))
+    print(f"WR16  -> response cmd={rsp.response.name}, tag={rsp.tag}")
+    rsp = roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0x1000, 2))
+    print(f"RD16  -> data={rsp.data.hex()} "
+          f"(latency {rsp.retire_cycle - rsp.inject_cycle + 1} cycles)")
+    assert rsp.data == data
+
+    # --- a Gen2 atomic: shared-counter increment ------------------------------
+    for tag in range(3, 6):
+        roundtrip(sim, sim.build_memrequest(hmc_rqst_t.INC8, 0x2000, tag))
+    count = int.from_bytes(sim.mem_read(0x2000, 8), "little")
+    print(f"INC8 x3 -> counter = {count}")
+    assert count == 3
+
+    # --- load and use a Custom Memory Cube operation --------------------------
+    op = sim.load_cmc("repro.cmc_ops.lock")
+    print(f"loaded CMC op {op.op_name!r} at command code {op.cmd} "
+          f"({op.registration.rqst.name})")
+    init_lock(sim, 0x4000)
+    rsp = roundtrip(sim, build_lock(sim, 0x4000, 10, tid=42))
+    print(f"hmc_lock -> acquired={decode_lock_response(rsp.data)}")
+
+    # --- the trace shows the CMC op by name (§IV.A Discrete Tracing) ----------
+    print("\ntrace excerpt:")
+    for line in trace.getvalue().splitlines():
+        if "hmc_lock" in line or "INC8" in line:
+            print(" ", line)
+
+    print(f"\ndone in {sim.cycle} device cycles; "
+          f"{sim.sent_rqsts} requests, {sim.recvd_rsps} responses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""HMC-Sim 2.0 reproduction: Hybrid Memory Cube simulation with CMC plugins.
+
+A from-scratch Python implementation of the simulation platform from
+*HMC-Sim-2.0: A Simulation Platform for Exploring Custom Memory Cube
+Operations* (Leidel & Chen, 2016): a cycle-based HMC Gen2 device
+simulator (:mod:`repro.hmc`) extended with the paper's contribution —
+the Custom Memory Cube plugin infrastructure (:mod:`repro.core`) that
+lets users define new memory-side operations in externally loaded
+plugin modules, occupying any of the 70 unused Gen2 command codes,
+without touching the simulator core.
+
+Quickstart::
+
+    from repro import HMCSim, HMCConfig, hmc_rqst_t
+
+    sim = HMCSim(HMCConfig.cfg_4link_4gb())
+    sim.load_cmc("repro.cmc_ops.lock")          # CMC125: hmc_lock
+
+    pkt = sim.build_memrequest(hmc_rqst_t.INC8, addr=0x1000, tag=1)
+    sim.send(pkt, link=0)
+    sim.clock(3)
+    rsp = sim.recv(link=0)
+
+See the ``examples/`` directory for full scenarios (the paper's mutex
+workload, STREAM Triad, GUPS, BFS-with-CAS) and ``benchmarks/`` for
+the harnesses that regenerate every table and figure in the paper.
+"""
+
+from repro.core import CMCOperation, CMCRegistration, CMCRegistry, load_cmc
+from repro.errors import (
+    CMCError,
+    CMCExecutionError,
+    CMCLoadError,
+    CMCNotActiveError,
+    HMCConfigError,
+    HMCPacketError,
+    HMCSimError,
+    HMCStatus,
+)
+from repro.hmc.commands import (
+    CommandInfo,
+    CommandKind,
+    command_info,
+    hmc_response_t,
+    hmc_rqst_t,
+)
+from repro.hmc.config import HMCConfig
+from repro.hmc.packet import RequestPacket, ResponsePacket
+from repro.hmc.power import HMCPowerModel
+from repro.hmc.sim import HMCSim
+from repro.hmc.timing import HMCTimingModel
+from repro.hmc.trace import TraceLevel
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "HMCSim",
+    "HMCConfig",
+    "HMCStatus",
+    "hmc_rqst_t",
+    "hmc_response_t",
+    "command_info",
+    "CommandInfo",
+    "CommandKind",
+    "RequestPacket",
+    "ResponsePacket",
+    "TraceLevel",
+    "HMCTimingModel",
+    "HMCPowerModel",
+    "CMCOperation",
+    "CMCRegistration",
+    "CMCRegistry",
+    "load_cmc",
+    "HMCSimError",
+    "HMCConfigError",
+    "HMCPacketError",
+    "CMCError",
+    "CMCLoadError",
+    "CMCNotActiveError",
+    "CMCExecutionError",
+    "__version__",
+]

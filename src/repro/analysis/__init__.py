@@ -1,0 +1,27 @@
+"""Analysis utilities: statistics, traffic models, sweeps, trace
+analysis, plotting, CSV export, and the table/series printers that
+regenerate the paper's tables and figures."""
+
+from repro.analysis.amo_traffic import AMOTrafficRow, table2_rows
+from repro.analysis.export import records_to_csv, sweep_to_csv, write_csv
+from repro.analysis.plot import ascii_plot, plot_sweeps
+from repro.analysis.stats import SeriesStats, summarize
+from repro.analysis.sweep import MutexSweep, run_mutex_sweep
+from repro.analysis.traceview import TraceAnalysis, analyze_trace, parse_trace
+
+__all__ = [
+    "AMOTrafficRow",
+    "table2_rows",
+    "SeriesStats",
+    "summarize",
+    "MutexSweep",
+    "run_mutex_sweep",
+    "ascii_plot",
+    "plot_sweeps",
+    "sweep_to_csv",
+    "records_to_csv",
+    "write_csv",
+    "TraceAnalysis",
+    "analyze_trace",
+    "parse_trace",
+]

@@ -1,0 +1,94 @@
+"""Atomic-memory-operation traffic model — Table II of the paper.
+
+Table II compares the link traffic of one atomic 8-byte increment done
+two ways:
+
+* **cache-based**: fetch a 64-byte line (1-FLIT read request + 5-FLIT
+  read response), increment in cache, flush it back (5-FLIT write
+  request + 1-FLIT write response) — 12 FLITs total;
+* **HMC-based**: one ``INC8`` command — 1 request FLIT + 1 response
+  FLIT — 2 FLITs total.
+
+**Documented paper inconsistency**: Table II's "Total Bytes" column
+multiplies FLITs by **128 bytes** (12 × 128 = 1536), while §IV of the
+same paper (and the HMC specification) define a FLIT as **128 bits**
+(16 bytes).  This module reports both numbers — ``bytes_paper`` uses
+the paper's arithmetic so the table regenerates verbatim, and
+``bytes_spec`` the specification's.  The headline result — the HMC
+atomic moves **6×** less traffic — is invariant to the unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hmc.commands import FLIT_BYTES, command_info, hmc_rqst_t
+
+__all__ = ["AMOTrafficRow", "table2_rows", "cache_rmw_flits", "hmc_amo_flits", "PAPER_FLIT_BYTES"]
+
+#: The byte-per-FLIT figure Table II's arithmetic actually uses.
+PAPER_FLIT_BYTES = 128
+
+#: Cache line size assumed by the cache-based protocol.
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AMOTrafficRow:
+    """One row of Table II."""
+
+    amo_type: str
+    request_structure: str
+    flits: int
+    #: Total bytes using the paper's (FLIT = 128 B) arithmetic.
+    bytes_paper: int
+    #: Total bytes using the specification's FLIT = 16 B.
+    bytes_spec: int
+
+
+def cache_rmw_flits(line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """FLITs for a cache-line read-modify-write over the HMC link.
+
+    Read: 1-FLIT request + (1 + line/16)-FLIT response.
+    Write: (1 + line/16)-FLIT request + 1-FLIT response.
+    """
+    data_flits = line_bytes // FLIT_BYTES
+    read = 1 + (1 + data_flits)
+    write = (1 + data_flits) + 1
+    return read + write
+
+
+def hmc_amo_flits(rqst: hmc_rqst_t = hmc_rqst_t.INC8) -> int:
+    """Request+response FLITs of one HMC atomic (from the command table)."""
+    info = command_info(rqst)
+    assert info.rqst_flits is not None and info.rsp_flits is not None
+    return info.rqst_flits + info.rsp_flits
+
+
+def table2_rows(line_bytes: int = CACHE_LINE_BYTES) -> List[AMOTrafficRow]:
+    """Regenerate Table II: cache-based vs HMC-based atomic increment."""
+    data_flits = line_bytes // FLIT_BYTES
+    cache_flits = cache_rmw_flits(line_bytes)
+    inc_flits = hmc_amo_flits(hmc_rqst_t.INC8)
+    return [
+        AMOTrafficRow(
+            amo_type="Cache-Based",
+            request_structure=f"Read {line_bytes} Bytes + Write {line_bytes} Bytes",
+            flits=cache_flits,
+            bytes_paper=cache_flits * PAPER_FLIT_BYTES,
+            bytes_spec=cache_flits * FLIT_BYTES,
+        ),
+        AMOTrafficRow(
+            amo_type="HMC-Based",
+            request_structure="INC8 Command",
+            flits=inc_flits,
+            bytes_paper=inc_flits * PAPER_FLIT_BYTES,
+            bytes_spec=inc_flits * FLIT_BYTES,
+        ),
+    ]
+
+
+def traffic_reduction_factor(line_bytes: int = CACHE_LINE_BYTES) -> float:
+    """The headline ratio (6.0 for 64-byte lines)."""
+    return cache_rmw_flits(line_bytes) / hmc_amo_flits()

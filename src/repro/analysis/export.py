@@ -1,0 +1,76 @@
+"""CSV/record export of sweep and kernel results.
+
+The benchmark artifacts under ``benchmarks/out`` are human-oriented;
+this module produces machine-readable forms for downstream plotting
+(e.g. regenerating the figures in matplotlib/gnuplot outside this
+repository's offline environment).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.sweep import MutexSweep
+
+__all__ = ["sweep_to_csv", "records_to_csv", "write_csv"]
+
+
+def sweep_to_csv(sweeps: Sequence[MutexSweep]) -> str:
+    """One row per thread count; min/max/avg columns per configuration.
+
+    Matches the layout of the paper's figure data: a shared thread
+    axis and one series per device configuration.
+    """
+    if not sweeps:
+        raise ValueError("no sweeps to export")
+    threads = sweeps[0].threads
+    for s in sweeps[1:]:
+        if s.threads != threads:
+            raise ValueError("sweeps cover different thread ranges")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    header = ["threads"]
+    for s in sweeps:
+        name = s.config_name.lower().replace("-", "_")
+        header += [f"{name}_min", f"{name}_max", f"{name}_avg"]
+    writer.writerow(header)
+    for i, n in enumerate(threads):
+        row: List[object] = [n]
+        for s in sweeps:
+            row += [s.min_cycles[i], s.max_cycles[i], f"{s.avg_cycles[i]:.4f}"]
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def records_to_csv(records: Iterable[object]) -> str:
+    """Export a sequence of result dataclasses (e.g. GUPSStats) as CSV."""
+    rows = []
+    fieldnames: Optional[List[str]] = None
+    for rec in records:
+        if not is_dataclass(rec):
+            raise TypeError(f"{type(rec).__name__} is not a dataclass record")
+        d = asdict(rec)
+        if fieldnames is None:
+            fieldnames = list(d)
+        elif list(d) != fieldnames:
+            raise ValueError("records have inconsistent fields")
+        rows.append(d)
+    if fieldnames is None:
+        raise ValueError("no records to export")
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def write_csv(path: Union[str, Path], content: str) -> Path:
+    """Write CSV text to ``path``, creating parent directories."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(content)
+    return p

@@ -1,0 +1,93 @@
+"""Dependency-free ASCII line plots for the paper's figures.
+
+The benchmarks regenerate Figures 5-7 as data series; this module
+renders them as terminal line charts so the *shape* — the identical
+low-thread region, the divergence past ~50 threads, the linear growth
+— is visible without a plotting stack.  Output is deterministic and
+test-pinned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["ascii_plot", "plot_sweeps"]
+
+_MARKERS = "*+ox#@"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render one or more series over a shared x axis.
+
+    Args:
+        x: x coordinates (shared by all series).
+        series: one y-vector per series, each ``len(x)`` long.
+        labels: legend labels, one per series.
+        title: chart heading.
+        width/height: plot area in character cells.
+
+    Returns:
+        The chart as a multi-line string (y axis left, legend below).
+    """
+    if not x or not series:
+        raise ValueError("nothing to plot")
+    if len(series) != len(labels):
+        raise ValueError("one label per series required")
+    for s in series:
+        if len(s) != len(x):
+            raise ValueError("every series must match the x axis length")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    xmin, xmax = min(x), max(x)
+    ymin = min(min(s) for s in series)
+    ymax = max(max(s) for s in series)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(x, s):
+            col = round((xv - xmin) / (xmax - xmin) * (width - 1))
+            row = round((yv - ymin) / (ymax - ymin) * (height - 1))
+            r = height - 1 - row
+            cell = grid[r][col]
+            # Overlapping series show as '=', making the paper's
+            # "identical for 2..50 threads" region visually explicit.
+            grid[r][col] = marker if cell in (" ", marker) else "="
+
+    y_label_w = max(len(f"{ymax:.0f}"), len(f"{ymin:.0f}")) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        yv = ymax - (ymax - ymin) * r / (height - 1)
+        label = f"{yv:.0f}".rjust(y_label_w) if r % 4 == 0 or r == height - 1 else " " * y_label_w
+        lines.append(f"{label} |" + "".join(grid[r]))
+    lines.append(" " * y_label_w + "-+" + "-" * width)
+    x_axis = f"{xmin:.0f}".ljust(width // 2) + f"{xmax:.0f}".rjust(width - width // 2)
+    lines.append(" " * (y_label_w + 2) + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(" " * (y_label_w + 2) + legend + "   (= overlap)")
+    return "\n".join(lines)
+
+
+def plot_sweeps(title: str, sweeps, series_attr: str, **kwargs) -> str:
+    """Plot one metric of several :class:`~repro.analysis.sweep.MutexSweep`s."""
+    x = sweeps[0].threads
+    series = [getattr(s, series_attr) for s in sweeps]
+    labels = [s.config_name for s in sweeps]
+    return ascii_plot(x, series, labels, title=title, **kwargs)

@@ -1,0 +1,50 @@
+"""Small statistics helpers shared by the benches and sweep analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SeriesStats", "summarize", "relative_difference_pct"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of a numeric series."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} min={self.minimum:g} max={self.maximum:g} "
+            f"mean={self.mean:.2f} stdev={self.stdev:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SeriesStats:
+    """Compute count/min/max/mean/stdev of a non-empty series."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return SeriesStats(
+        count=n,
+        minimum=min(values),
+        maximum=max(values),
+        mean=mean,
+        stdev=math.sqrt(var),
+    )
+
+
+def relative_difference_pct(a: float, b: float) -> float:
+    """``(a - b) / a`` in percent — the metric behind the paper's
+    "the 8 link device delivered a worst case ... 1.2% better" claims."""
+    if a == 0:
+        raise ValueError("reference value is zero")
+    return (a - b) / a * 100.0

@@ -1,0 +1,97 @@
+"""The paper's thread sweep (Figures 5-7 / Table VI), with caching.
+
+One full sweep runs Algorithm 1 for every thread count from 2 to 100
+on both the 4Link-4GB and 8Link-8GB configurations.  The three figures
+and Table VI are all views of the same sweep, so the result is cached
+per (configuration, range) within the process — the figure benches
+share one simulation pass exactly like the paper's data collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hmc.config import HMCConfig
+from repro.host.kernels.mutex_kernel import MutexRunStats, run_mutex_workload
+
+__all__ = ["MutexSweep", "run_mutex_sweep", "PAPER_THREAD_RANGE", "paper_configs"]
+
+#: The paper varies "the number of threads from two to one hundred".
+PAPER_THREAD_RANGE: Tuple[int, ...] = tuple(range(2, 101))
+
+
+def paper_configs() -> List[HMCConfig]:
+    """The two §V.B evaluation configurations."""
+    return [HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb()]
+
+
+@dataclass
+class MutexSweep:
+    """Results of one configuration's sweep over thread counts."""
+
+    config_name: str
+    runs: List[MutexRunStats] = field(default_factory=list)
+
+    @property
+    def threads(self) -> List[int]:
+        """The thread-count axis."""
+        return [r.threads for r in self.runs]
+
+    @property
+    def min_cycles(self) -> List[int]:
+        """Figure 5 series: MIN_CYCLE per thread count."""
+        return [r.min_cycle for r in self.runs]
+
+    @property
+    def max_cycles(self) -> List[int]:
+        """Figure 6 series: MAX_CYCLE per thread count."""
+        return [r.max_cycle for r in self.runs]
+
+    @property
+    def avg_cycles(self) -> List[float]:
+        """Figure 7 series: AVG_CYCLE per thread count."""
+        return [r.avg_cycle for r in self.runs]
+
+    def table6_row(self) -> Tuple[str, int, int, float]:
+        """Table VI row: (device, overall min, worst max, worst avg)."""
+        return (
+            self.config_name,
+            min(self.min_cycles),
+            max(self.max_cycles),
+            max(self.avg_cycles),
+        )
+
+    def worst_case(self) -> MutexRunStats:
+        """The run with the highest MAX_CYCLE (the §V.C 'worst case')."""
+        return max(self.runs, key=lambda r: r.max_cycle)
+
+
+_CACHE: Dict[Tuple[str, Tuple[int, ...]], MutexSweep] = {}
+
+
+def run_mutex_sweep(
+    config: HMCConfig,
+    thread_counts: Optional[Sequence[int]] = None,
+    *,
+    use_cache: bool = True,
+) -> MutexSweep:
+    """Run (or fetch the cached) Algorithm-1 sweep for one configuration.
+
+    Args:
+        config: device configuration.
+        thread_counts: thread counts to sweep (default: the paper's
+            2..100).
+        use_cache: reuse a previous in-process sweep of the same
+            configuration and range.
+    """
+    counts = tuple(thread_counts) if thread_counts is not None else PAPER_THREAD_RANGE
+    key = (repr(config), counts)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    sweep = MutexSweep(config_name=config.describe())
+    for n in counts:
+        sweep.runs.append(run_mutex_workload(config, n))
+    if use_cache:
+        _CACHE[key] = sweep
+    return sweep

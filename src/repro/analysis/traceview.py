@@ -1,0 +1,191 @@
+"""Trace-file analysis: parse HMC-Sim trace output back into statistics.
+
+HMC-Sim's tracing is its primary observability surface ("powerful
+tracing capability that permitted users to see exactly how and where
+memory operations progressed", §IV.A).  This module closes the loop:
+it parses the ``key=value`` trace lines the :class:`repro.hmc.trace.
+Tracer` emits — from a file, string, or live buffer — and computes
+per-operation counts, latency distributions, stall breakdowns, and
+per-vault load, so the trace can answer the questions the paper's
+evaluation asks (where is the hot spot, who stalls, what does a CMC
+op's latency look like next to a native command).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["ParsedEvent", "TraceAnalysis", "parse_trace", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    """One parsed trace line."""
+
+    level: str
+    cycle: int
+    fields: Tuple[Tuple[str, str], ...]
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Field lookup (keys are upper-case, as emitted)."""
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+def parse_trace(source: Union[str, Iterable[str]]) -> List[ParsedEvent]:
+    """Parse trace text (or an iterable of lines) into events.
+
+    Unrecognized lines are skipped, so traces interleaved with other
+    program output parse cleanly.
+    """
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    events: List[ParsedEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line.startswith("HMCSIM_TRACE"):
+            continue
+        parts = [p.strip() for p in line.split(" : ")]
+        if len(parts) < 3:
+            continue
+        level = parts[1]
+        fields: List[Tuple[str, str]] = []
+        cycle = -1
+        for token in parts[2:]:
+            if "=" not in token:
+                continue
+            k, v = token.split("=", 1)
+            if k == "CYCLE":
+                try:
+                    cycle = int(v)
+                except ValueError:
+                    cycle = -1
+            else:
+                fields.append((k, v))
+        if cycle >= 0:
+            events.append(ParsedEvent(level=level, cycle=cycle, fields=tuple(fields)))
+    return events
+
+
+@dataclass
+class TraceAnalysis:
+    """Aggregated view of one trace."""
+
+    events: int = 0
+    first_cycle: int = 0
+    last_cycle: int = 0
+    #: Requests executed, by operation name (CMC ops appear by cmc_str name).
+    op_counts: Counter = field(default_factory=Counter)
+    #: Stalls by location string.
+    stall_counts: Counter = field(default_factory=Counter)
+    #: Bank conflicts by (vault, bank).
+    conflict_counts: Counter = field(default_factory=Counter)
+    #: Requests executed per vault (the hot-spot detector).
+    vault_load: Counter = field(default_factory=Counter)
+    #: Retire latencies in cycles.
+    latencies: List[int] = field(default_factory=list)
+    #: Total energy from POWER events (pJ).
+    energy_pj: float = 0.0
+
+    @property
+    def span_cycles(self) -> int:
+        """Cycles between the first and last traced event."""
+        return max(0, self.last_cycle - self.first_cycle)
+
+    def latency_stats(self) -> Dict[str, float]:
+        """min/mean/p50/p99/max of the latency samples."""
+        if not self.latencies:
+            return {}
+        xs = sorted(self.latencies)
+        n = len(xs)
+        return {
+            "min": float(xs[0]),
+            "mean": sum(xs) / n,
+            "p50": float(xs[n // 2]),
+            "p99": float(xs[min(n - 1, (n * 99) // 100)]),
+            "max": float(xs[-1]),
+        }
+
+    def latency_histogram(self, bucket: int = 4) -> Dict[str, int]:
+        """Latency counts in ``bucket``-cycle bins, labeled "lo-hi"."""
+        hist: Dict[str, int] = {}
+        for lat in self.latencies:
+            lo = (lat // bucket) * bucket
+            key = f"{lo}-{lo + bucket - 1}"
+            hist[key] = hist.get(key, 0) + 1
+        return dict(sorted(hist.items(), key=lambda kv: int(kv[0].split("-")[0])))
+
+    def hottest_vault(self) -> Optional[Tuple[int, int]]:
+        """(vault, request count) of the most-loaded vault, or None."""
+        if not self.vault_load:
+            return None
+        vault, count = self.vault_load.most_common(1)[0]
+        return vault, count
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"events={self.events} span={self.span_cycles} cycles "
+            f"(cycle {self.first_cycle}..{self.last_cycle})",
+            "requests by op: "
+            + ", ".join(f"{op}={n}" for op, n in self.op_counts.most_common()),
+        ]
+        if self.stall_counts:
+            lines.append(
+                "stalls: "
+                + ", ".join(f"{w}={n}" for w, n in self.stall_counts.most_common())
+            )
+        hot = self.hottest_vault()
+        if hot is not None:
+            lines.append(f"hottest vault: {hot[0]} ({hot[1]} requests)")
+        stats = self.latency_stats()
+        if stats:
+            lines.append(
+                "latency cycles: "
+                + " ".join(f"{k}={v:.1f}" for k, v in stats.items())
+            )
+        if self.energy_pj:
+            lines.append(f"energy: {self.energy_pj:.1f} pJ")
+        return "\n".join(lines)
+
+
+def analyze_trace(source: Union[str, Iterable[str]]) -> TraceAnalysis:
+    """Parse and aggregate a trace in one step."""
+    analysis = TraceAnalysis()
+    events = parse_trace(source)
+    if not events:
+        return analysis
+    analysis.events = len(events)
+    analysis.first_cycle = min(e.cycle for e in events)
+    analysis.last_cycle = max(e.cycle for e in events)
+    for ev in events:
+        if ev.level == "CMD":
+            rqst = ev.get("RQST")
+            if rqst is not None:
+                analysis.op_counts[rqst] += 1
+                vault = ev.get("VAULT")
+                if vault is not None:
+                    analysis.vault_load[int(vault)] += 1
+        elif ev.level == "STALL":
+            where = ev.get("WHERE")
+            if where is not None:
+                analysis.stall_counts[where] += 1
+        elif ev.level == "BANK":
+            vault, bank = ev.get("VAULT"), ev.get("BANK")
+            if vault is not None and bank is not None:
+                analysis.conflict_counts[(int(vault), int(bank))] += 1
+        elif ev.level == "LATENCY":
+            cycles = ev.get("CYCLES")
+            if cycles is not None:
+                analysis.latencies.append(int(cycles))
+        elif ev.level == "POWER":
+            pj = ev.get("ENERGY_PJ")
+            if pj is not None:
+                analysis.energy_pj += float(pj)
+    return analysis

@@ -1,0 +1,320 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as ``hmcsim-repro`` (also ``python -m repro``):
+
+* ``hmcsim-repro table 1|2|5|6`` — regenerate a paper table.
+* ``hmcsim-repro sweep --threads 2:100 --plot --csv out.csv`` — run the
+  Figures 5-7 sweep, render ASCII charts, export CSV.
+* ``hmcsim-repro kernel mutex|ticket|stream|gups|bfs|hist`` — run one
+  workload kernel and print its statistics.
+* ``hmcsim-repro info`` — show the command space and configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import tables as _tables
+from repro.analysis.export import sweep_to_csv, write_csv
+from repro.analysis.plot import plot_sweeps
+from repro.analysis.sweep import run_mutex_sweep
+from repro.hmc.commands import CMC_CODES, DEFINED_CODES
+from repro.hmc.config import HMCConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_threads(spec: str) -> List[int]:
+    """Parse a thread-axis spec: "N", "lo:hi", or "lo:hi:step"."""
+    parts = spec.split(":")
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad thread spec {spec!r}") from None
+    if len(nums) == 1:
+        return nums
+    if len(nums) == 2:
+        lo, hi = nums
+        step = 1
+    elif len(nums) == 3:
+        lo, hi, step = nums
+    else:
+        raise argparse.ArgumentTypeError(f"bad thread spec {spec!r}")
+    if lo < 1 or hi < lo or step < 1:
+        raise argparse.ArgumentTypeError(f"bad thread range {spec!r}")
+    counts = list(range(lo, hi + 1, step))
+    if counts[-1] != hi:
+        counts.append(hi)
+    return counts
+
+
+def _configs(which: str) -> List[HMCConfig]:
+    cfgs = {
+        "4link": [HMCConfig.cfg_4link_4gb()],
+        "8link": [HMCConfig.cfg_8link_8gb()],
+        "both": [HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb()],
+    }
+    return cfgs[which]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="hmcsim-repro",
+        description="HMC-Sim 2.0 reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", choices=["1", "2", "5", "6"])
+    p_table.add_argument(
+        "--threads", type=_parse_threads, default=None,
+        help="thread axis for table 6 (default 2:100)",
+    )
+
+    p_sweep = sub.add_parser("sweep", help="run the Figures 5-7 thread sweep")
+    p_sweep.add_argument(
+        "--threads", type=_parse_threads, default=_parse_threads("2:100"),
+        help="thread axis, e.g. 2:100 or 2:100:7 (default 2:100)",
+    )
+    p_sweep.add_argument(
+        "--config", choices=["4link", "8link", "both"], default="both"
+    )
+    p_sweep.add_argument("--plot", action="store_true", help="render ASCII charts")
+    p_sweep.add_argument("--csv", metavar="PATH", help="export the series as CSV")
+
+    p_kernel = sub.add_parser("kernel", help="run one workload kernel")
+    p_kernel.add_argument(
+        "name", choices=["mutex", "ticket", "stream", "gups", "bfs", "hist"]
+    )
+    p_kernel.add_argument("--threads", type=int, default=16)
+    p_kernel.add_argument(
+        "--config", choices=["4link", "8link"], default="4link"
+    )
+
+    p_open = sub.add_parser(
+        "openloop", help="open-loop latency vs offered load"
+    )
+    p_open.add_argument("--rate", type=float, default=8.0, help="requests/cycle")
+    p_open.add_argument("--duration", type=int, default=256)
+    p_open.add_argument("--pattern", choices=["uniform", "stride"], default="uniform")
+    p_open.add_argument("--config", choices=["4link", "8link"], default="4link")
+
+    p_chase = sub.add_parser("chase", help="pointer-chase latency kernel")
+    p_chase.add_argument("--length", type=int, default=64)
+    p_chase.add_argument("--scatter", action="store_true")
+    p_chase.add_argument("--timing", action="store_true", help="attach DRAM timing")
+    p_chase.add_argument("--config", choices=["4link", "8link"], default="4link")
+
+    p_analyze = sub.add_parser("analyze", help="analyze a trace file")
+    p_analyze.add_argument("trace", help="path to a trace file")
+    p_analyze.add_argument(
+        "--histogram", action="store_true", help="print the latency histogram"
+    )
+
+    p_verify = sub.add_parser(
+        "verify", help="verify the paper's published numbers"
+    )
+    p_verify.add_argument(
+        "--threads", type=_parse_threads, default=None,
+        help="thread axis for the sweep anchors (default 2:100)",
+    )
+
+    sub.add_parser("info", help="show command space and configurations")
+    return parser
+
+
+def _cmd_table(args, out) -> int:
+    if args.number == "1":
+        out.write(_tables.render_table1() + "\n")
+    elif args.number == "2":
+        out.write(_tables.render_table2() + "\n")
+    elif args.number == "5":
+        from repro.cmc_ops.mutex import load_mutex_ops
+        from repro.hmc.sim import HMCSim
+
+        sim = HMCSim(HMCConfig.cfg_4link_4gb())
+        load_mutex_ops(sim)
+        out.write(_tables.render_table5(sim.cmc) + "\n")
+    else:
+        counts = args.threads or _parse_threads("2:100")
+        sweeps = [run_mutex_sweep(c, counts) for c in _configs("both")]
+        out.write(_tables.render_table6(sweeps) + "\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    sweeps = [run_mutex_sweep(c, args.threads) for c in _configs(args.config)]
+    for title, attr in [
+        ("Figure 5: Minimum Lock Cycles", "min_cycles"),
+        ("Figure 6: Maximum Lock Cycles", "max_cycles"),
+        ("Figure 7: Average Lock Cycles", "avg_cycles"),
+    ]:
+        if args.plot:
+            out.write(plot_sweeps(title, sweeps, attr) + "\n\n")
+        else:
+            out.write(_tables.render_figure_series(title, sweeps, attr) + "\n\n")
+    out.write(_tables.render_table6(sweeps) + "\n")
+    if args.csv:
+        path = write_csv(args.csv, sweep_to_csv(sweeps))
+        out.write(f"series written to {path}\n")
+    return 0
+
+
+def _cmd_kernel(args, out) -> int:
+    cfg = _configs(args.config)[0]
+    if args.name == "mutex":
+        from repro.host.kernels.mutex_kernel import run_mutex_workload
+
+        s = run_mutex_workload(cfg, args.threads)
+        out.write(
+            f"{s.config_name} mutex x{s.threads}: min={s.min_cycle} "
+            f"max={s.max_cycle} avg={s.avg_cycle:.2f} "
+            f"(cmc executions: {s.cmc_executions})\n"
+        )
+    elif args.name == "ticket":
+        from repro.host.kernels.ticket_kernel import run_ticket_workload
+
+        s = run_ticket_workload(cfg, args.threads)
+        out.write(
+            f"{s.config_name} ticket x{s.threads}: min={s.min_cycle} "
+            f"max={s.max_cycle} avg={s.avg_cycle:.2f} fifo={s.fifo_order}\n"
+        )
+    elif args.name == "stream":
+        from repro.host.kernels.stream import run_stream_triad
+
+        s = run_stream_triad(cfg, num_threads=args.threads)
+        out.write(
+            f"{s.config_name} STREAM Triad x{s.threads}: {s.cycles} cycles, "
+            f"{s.bytes_per_cycle:.1f} B/cycle, err={s.max_abs_error}\n"
+        )
+    elif args.name == "gups":
+        from repro.host.kernels.gups import run_gups
+
+        for atomic in (False, True):
+            s = run_gups(cfg, num_threads=args.threads, use_atomic=atomic)
+            out.write(
+                f"{s.config_name} GUPS ({s.mode}) x{s.threads}: {s.cycles} cycles, "
+                f"{s.updates_per_cycle:.3f} upd/cycle, verified={s.verified}\n"
+            )
+    elif args.name == "bfs":
+        from repro.host.kernels.bfs import run_bfs
+
+        for cas in (False, True):
+            s = run_bfs(cfg, num_threads=args.threads, use_cas=cas)
+            out.write(
+                f"{s.config_name} BFS ({s.mode}): {s.edges} edges, "
+                f"{s.requests} requests, {s.flits} flits, verified={s.verified}\n"
+            )
+    else:  # hist
+        from repro.host.kernels.histogram import run_histogram
+
+        for mode in ("rmw", "atomic", "posted"):
+            s = run_histogram(cfg, mode=mode, num_threads=args.threads)
+            out.write(
+                f"{s.config_name} histogram ({s.mode}): {s.cycles} cycles, "
+                f"{s.flits_per_sample:.1f} flits/sample, exact={s.exact}\n"
+            )
+    return 0
+
+
+def _cmd_openloop(args, out) -> int:
+    from repro.host.openloop import run_open_loop
+
+    cfg = _configs(args.config)[0]
+    s = run_open_loop(
+        cfg, offered_rate=args.rate, duration=args.duration, pattern=args.pattern
+    )
+    out.write(
+        f"{s.config_name} open-loop {s.pattern}: offered {s.offered_rate}/cyc, "
+        f"achieved {s.achieved_rate:.2f}/cyc, mean latency "
+        f"{s.mean_latency:.1f} cyc, p99 {s.p99_latency} cyc, "
+        f"{'SATURATED' if s.saturated else 'below the knee'}\n"
+    )
+    return 0
+
+
+def _cmd_chase(args, out) -> int:
+    from repro.hmc.timing import DEFAULT_TIMING
+    from repro.host.kernels.pointer_chase import run_pointer_chase
+
+    cfg = _configs(args.config)[0]
+    s = run_pointer_chase(
+        cfg,
+        length=args.length,
+        scatter=args.scatter,
+        timing=DEFAULT_TIMING if args.timing else None,
+    )
+    out.write(
+        f"{s.config_name} pointer chase x{s.length} "
+        f"({'scattered' if s.scattered else 'sequential'}"
+        f"{', timed' if s.timed else ''}): {s.cycles} cycles, "
+        f"{s.cycles_per_hop:.2f} cycles/hop, "
+        f"order={'ok' if s.order_correct else 'BROKEN'}\n"
+    )
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from pathlib import Path
+
+    from repro.analysis.traceview import analyze_trace
+
+    path = Path(args.trace)
+    if not path.exists():
+        out.write(f"trace file {path} does not exist\n")
+        return 1
+    a = analyze_trace(path.read_text())
+    out.write(a.summary() + "\n")
+    if args.histogram and a.latencies:
+        out.write("latency histogram (4-cycle buckets):\n")
+        for bucket, count in a.latency_histogram().items():
+            out.write(f"  {bucket:>8}: {count}\n")
+    return 0
+
+
+def _cmd_info(out) -> int:
+    out.write("HMC-Sim 2.0 reproduction\n")
+    out.write(
+        f"command space: {len(DEFINED_CODES)} specification commands, "
+        f"{len(CMC_CODES)} CMC-eligible codes\n"
+    )
+    for cfg in _configs("both"):
+        out.write(
+            f"{cfg.describe()}: {cfg.num_vaults} vaults x {cfg.num_banks} banks, "
+            f"queue depth {cfg.queue_depth}, xbar depth {cfg.xbar_depth}, "
+            f"block {cfg.bsize}B\n"
+        )
+    out.write(f"CMC codes: {', '.join(str(c) for c in CMC_CODES[:12])}, ...\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "table":
+        return _cmd_table(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    if args.command == "kernel":
+        return _cmd_kernel(args, out)
+    if args.command == "openloop":
+        return _cmd_openloop(args, out)
+    if args.command == "chase":
+        return _cmd_chase(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+    if args.command == "verify":
+        from repro.analysis.verify import render_verification_report, verify_all
+
+        anchors = verify_all(thread_counts=args.threads)
+        out.write(render_verification_report(anchors) + "\n")
+        return 0 if all(a.passed for a in anchors) else 1
+    return _cmd_info(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

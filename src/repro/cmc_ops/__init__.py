@@ -1,0 +1,54 @@
+"""Ready-made Custom Memory Cube operation plugins.
+
+Each module in this package is one CMC operation following the user
+library structure of §IV.D (one operation per "shared library"):
+module-level statics per Table III and an ``hmcsim_execute_cmc``
+function per Table IV.  They are loaded with
+``HMCSim.load_cmc("repro.cmc_ops.<name>")`` — or from a file path,
+exactly as a user would load their own out-of-tree implementation.
+
+The paper's showcase — the mutex set of Table V — occupies command
+codes 125/126/127:
+
+* :mod:`repro.cmc_ops.lock` — ``hmc_lock`` (CMC125)
+* :mod:`repro.cmc_ops.trylock` — ``hmc_trylock`` (CMC126)
+* :mod:`repro.cmc_ops.unlock` — ``hmc_unlock`` (CMC127)
+
+Additional demonstration ops exercise other corners of the CMC design
+space (posted ops, custom response commands, wide payloads):
+
+* :mod:`repro.cmc_ops.fadd64` — fetch-and-add on a 64-bit word (CMC04)
+* :mod:`repro.cmc_ops.popcount` — population count of a 16-byte block (CMC05)
+* :mod:`repro.cmc_ops.bloom` — bloom-filter insert over a 64-byte block (CMC06)
+* :mod:`repro.cmc_ops.amin64` — atomic signed minimum (CMC07)
+* :mod:`repro.cmc_ops.memzero` — posted 256-byte zero-fill (CMC20)
+* :mod:`repro.cmc_ops.ticket_enter` / `ticket_wait` / `ticket_exit` —
+  a FIFO-fair ticket-lock set (CMC21-23; bundle in
+  :mod:`repro.cmc_ops.ticket`)
+* :mod:`repro.cmc_ops.cas128` — full-width 128-bit CAS, 3-FLIT request (CMC36)
+* :mod:`repro.cmc_ops.amax64` — atomic signed maximum (CMC37)
+* :mod:`repro.cmc_ops.fetchclear64` — fetch-and-clear / test-and-reset (CMC38)
+* :mod:`repro.cmc_ops.listpush` — in-memory linked-list push (CMC39)
+* :mod:`repro.cmc_ops.dotprod` — 8x8 fixed-point dot product (CMC41)
+"""
+
+from repro.cmc_ops.base import (
+    LOCK_FREE,
+    LOCK_HELD,
+    lock_struct_pack,
+    lock_struct_unpack,
+    payload_u64,
+    store_u64,
+)
+from repro.cmc_ops.mutex import MUTEX_PLUGINS, load_mutex_ops
+
+__all__ = [
+    "LOCK_FREE",
+    "LOCK_HELD",
+    "lock_struct_pack",
+    "lock_struct_unpack",
+    "payload_u64",
+    "store_u64",
+    "MUTEX_PLUGINS",
+    "load_mutex_ops",
+]

@@ -1,0 +1,26 @@
+"""Custom Memory Cube (CMC) infrastructure — the paper's contribution.
+
+This subpackage implements §IV of the paper: the internal data
+structures (:class:`repro.core.cmc.CMCOperation`, the ``hmc_cmc_t``
+analog, and :class:`repro.core.cmc.CMCRegistry`), the registration
+path (:func:`repro.core.loader.load_cmc`, the ``hmc_load_cmc`` analog
+built on :mod:`importlib` instead of ``dlopen``/``dlsym``), and the
+authoring template (:mod:`repro.core.template`) that plays the role of
+the "CMC template source within the HMC-Sim 2.0 source tree".
+"""
+
+from repro.core.cmc import CMCOperation, CMCRegistration, CMCRegistry, MAX_CMC_OPS
+from repro.core.loader import load_cmc, resolve_plugin_module
+from repro.core.template import CMCPluginSpec, make_registration, validate_plugin
+
+__all__ = [
+    "CMCOperation",
+    "CMCRegistration",
+    "CMCRegistry",
+    "MAX_CMC_OPS",
+    "load_cmc",
+    "resolve_plugin_module",
+    "CMCPluginSpec",
+    "make_registration",
+    "validate_plugin",
+]

@@ -1,0 +1,111 @@
+"""Dynamic CMC plugin loading — the ``hmc_load_cmc`` analog.
+
+§IV.C.2 of the paper: registration first verifies the simulation
+context is initialized, loads the shared library into the process
+(``dlopen``), resolves the three required function symbols (``dlsym``),
+and finally executes the plugin's ``cmc_register`` to populate the
+``hmc_cmc_t`` convenience members.  Any failure aborts the whole
+registration — nothing is left half-loaded.
+
+Here the "shared library object" is a Python module.  Three source
+forms are accepted, covering the ways a user ships an implementation:
+
+* an already-imported module (or any module-like object) — useful for
+  inline experimentation;
+* a dotted module name, e.g. ``"repro.cmc_ops.lock"`` — the packaged
+  equivalent of installing a ``.so`` on the library path;
+* a filesystem path to a ``.py`` file — the closest analog of handing
+  ``dlopen`` an arbitrary ``.so`` path.  The module is loaded under a
+  private name so user plugin files cannot shadow installed packages.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+from typing import Optional, Union
+
+from repro.core.cmc import CMCOperation
+from repro.core.template import validate_plugin
+from repro.errors import CMCLoadError
+
+__all__ = ["load_cmc", "resolve_plugin_module"]
+
+PluginSource = Union[str, Path, ModuleType, object]
+
+_FILE_MODULE_PREFIX = "_repro_cmc_plugin_"
+
+
+def _load_from_path(path: Path) -> ModuleType:
+    """Load a plugin module from a ``.py`` file (the ``dlopen`` analog)."""
+    if not path.exists():
+        raise CMCLoadError(f"CMC plugin file {path} does not exist")
+    mod_name = _FILE_MODULE_PREFIX + path.stem + f"_{abs(hash(str(path.resolve()))) & 0xFFFFFF:06x}"
+    spec = importlib.util.spec_from_file_location(mod_name, path)
+    if spec is None or spec.loader is None:
+        raise CMCLoadError(f"CMC plugin file {path} could not be loaded")
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so the plugin can use dataclasses/pickling idioms.
+    sys.modules[mod_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(mod_name, None)
+        raise CMCLoadError(f"CMC plugin file {path} failed to load: {exc}") from exc
+    return module
+
+
+def resolve_plugin_module(source: PluginSource) -> tuple:
+    """Resolve ``source`` to ``(plugin_object, description)``.
+
+    Raises:
+        CMCLoadError: if the module cannot be imported/loaded.
+    """
+    if isinstance(source, ModuleType):
+        return source, source.__name__
+    if isinstance(source, Path):
+        return _load_from_path(source), str(source)
+    if isinstance(source, str):
+        p = Path(source)
+        if source.endswith(".py") or p.exists():
+            return _load_from_path(p), source
+        try:
+            return importlib.import_module(source), source
+        except ImportError as exc:
+            raise CMCLoadError(
+                f"CMC plugin module {source!r} could not be imported: {exc}"
+            ) from exc
+    # Any other object (class instance, SimpleNamespace, ...) is accepted
+    # as long as it exposes the required symbols.
+    return source, getattr(source, "__name__", repr(source))
+
+
+def load_cmc(source: PluginSource, *, activate: bool = True) -> CMCOperation:
+    """Load and validate a CMC plugin, returning the ``hmc_cmc_t`` analog.
+
+    This performs every step of ``hmc_load_cmc`` *except* installing
+    the operation into a simulation context — that final step belongs
+    to :meth:`repro.hmc.sim.HMCSim.load_cmc`, which owns the registry
+    (and, per the paper, first checks that the context is initialized).
+
+    Args:
+        source: module object, dotted module name, or ``.py`` path.
+        activate: whether the operation starts *active* (dispatchable).
+
+    Raises:
+        CMCLoadError: load failure, missing symbols, or inconsistent
+            registration data.
+    """
+    plugin, description = resolve_plugin_module(source)
+    spec = validate_plugin(plugin, description)
+    return CMCOperation(
+        registration=spec.registration,
+        cmc_register=spec.register_fn,
+        cmc_execute=spec.execute,
+        cmc_str=spec.str_fn,
+        source=spec.source,
+        active=activate,
+    )

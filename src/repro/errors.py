@@ -1,0 +1,86 @@
+"""Status codes and exception hierarchy for the HMC-Sim reproduction.
+
+HMC-Sim's C API signals conditions through integer return codes
+(``0`` success, ``HMC_STALL``, ``-1`` error).  The Python API keeps the
+stall *status* as a non-exceptional return value — stalls are a normal,
+frequent simulation outcome — while configuration and usage errors raise
+exceptions.  The :mod:`repro.compat` layer converts exceptions back into
+C-style return codes for callers that want the original contract.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HMCStatus(enum.IntEnum):
+    """C-style status codes mirroring HMC-Sim's return-value conventions."""
+
+    #: Operation completed successfully (``0`` in HMC-Sim).
+    OK = 0
+    #: Target queue was full; caller should retry next cycle (``HMC_STALL``).
+    STALL = 2
+    #: Generic error (``-1`` in HMC-Sim).
+    ERROR = -1
+
+
+#: Convenience aliases matching the C macro names.
+HMC_OK = HMCStatus.OK
+HMC_STALL = HMCStatus.STALL
+HMC_ERROR = HMCStatus.ERROR
+
+
+class HMCSimError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class HMCConfigError(HMCSimError, ValueError):
+    """An invalid device configuration was requested.
+
+    Raised for the same conditions under which ``hmcsim_init`` returns
+    ``-1``: unsupported link counts, capacities, queue depths, etc.
+    """
+
+
+class HMCPacketError(HMCSimError, ValueError):
+    """A malformed packet was built, sent, or decoded."""
+
+
+class HMCAddressError(HMCSimError, ValueError):
+    """A request targeted an address outside the configured capacity."""
+
+
+class CMCError(HMCSimError):
+    """Base class for Custom Memory Cube (CMC) infrastructure errors."""
+
+
+class CMCLoadError(CMCError):
+    """A CMC plugin could not be loaded or registered.
+
+    This is the analog of ``hmc_load_cmc`` returning ``-1``: the shared
+    library failed to load (module import error), a required symbol did
+    not resolve (missing attribute), or the registration data was
+    inconsistent (command code outside the CMC space, duplicate
+    registration, bad FLIT lengths).
+    """
+
+
+class CMCNotActiveError(CMCError):
+    """A packet used a CMC command code with no registered operation.
+
+    Mirrors ``hmcsim_process_rqst`` rejecting commands not marked
+    *active* in the ``hmc_cmc_t`` table.
+    """
+
+
+class CMCExecutionError(CMCError):
+    """A CMC plugin's execute function failed or misbehaved.
+
+    Raised when ``hmcsim_execute_cmc`` returns a nonzero status or
+    overruns its response payload (the buffer-overflow condition the
+    paper explicitly cautions implementors about).
+    """
+
+
+class TagError(HMCSimError, ValueError):
+    """A request or response used an invalid or duplicate tag."""

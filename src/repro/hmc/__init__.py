@@ -1,0 +1,32 @@
+"""HMC Gen2 device-simulator substrate.
+
+This subpackage is the Python reconstruction of the HMC-Sim 2.0 core
+library: command set, packet formats, device organization (links,
+quads, vaults, banks), queueing, tracing, registers, and the built-in
+Gen2 atomic memory operations.  The Custom Memory Cube (CMC) plugin
+infrastructure that the paper contributes lives in :mod:`repro.core`
+and hooks into the vault request-processing path defined here.
+"""
+
+from repro.hmc.commands import CommandInfo, command_info, hmc_response_t, hmc_rqst_t
+from repro.hmc.config import HMCConfig
+
+__all__ = [
+    "hmc_rqst_t",
+    "hmc_response_t",
+    "CommandInfo",
+    "command_info",
+    "HMCConfig",
+    "HMCSim",
+]
+
+
+def __getattr__(name):
+    # HMCSim is imported lazily: repro.hmc.sim depends on repro.core,
+    # which itself imports repro.hmc.commands — a cycle if resolved at
+    # package-import time.
+    if name == "HMCSim":
+        from repro.hmc.sim import HMCSim
+
+        return HMCSim
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,187 @@
+"""Physical address decomposition (address → vault/bank/DRAM/row).
+
+The HMC specification's *default address map* interleaves consecutive
+max-block-size blocks across vaults, then across banks within a vault,
+with the remaining high bits selecting the DRAM row.  The block size is
+configurable (32..256 bytes) through ``hmcsim_util_set_max_blocksize``,
+which is why the paper notes its mutex experiment sets a 64-byte max
+block "which subsequently does not affect our respective simulation" —
+a single 16-byte lock never spans blocks.
+
+The mapping is bijective over the device capacity: every physical byte
+address maps to exactly one (vault, bank, dram, row, offset) tuple and
+back.  Property tests in ``tests/hmc/test_addrmap.py`` pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import HMCAddressError
+from repro.hmc.config import HMCConfig
+
+__all__ = ["AddressMap", "DecodedAddress"]
+
+
+def _log2(n: int) -> int:
+    b = n.bit_length() - 1
+    if 1 << b != n:
+        raise ValueError(f"{n} is not a power of two")
+    return b
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One physical address decomposed into device coordinates."""
+
+    addr: int
+    dev: int
+    quad: int
+    vault: int
+    bank: int
+    dram: int
+    row: int
+    offset: int  # byte offset within the block
+
+
+class AddressMap:
+    """Default HMC address interleave for a given configuration.
+
+    Bit layout, low to high (``addr_interleave="vault"``, the default)::
+
+        [boff]  block offset     log2(bsize) bits
+        [vault] vault select     log2(num_vaults) bits
+        [bank]  bank select      log2(num_banks) bits
+        [row]   row / remainder  everything up to the capacity boundary
+        [dev]   cube select      log2(num_devs) bits (chained topologies)
+
+    With ``addr_interleave="bank"`` the vault and bank fields swap:
+    consecutive blocks sweep the banks of one vault before moving to
+    the next vault — maximizing bank-level parallelism for streaming
+    access at the cost of concentrating it on one vault controller
+    (quantified by ``benchmarks/bench_ablation_interleave.py``).
+    """
+
+    def __init__(self, config: HMCConfig):
+        self.config = config
+        self._boff_bits = _log2(config.bsize)
+        self._vault_bits = _log2(config.num_vaults)
+        self._bank_bits = _log2(config.num_banks)
+        self._vault_first = config.addr_interleave == "vault"
+        self._dev_bits = max(0, (config.num_devs - 1).bit_length())
+        cap_bits = _log2(config.capacity_bytes)
+        self._row_lo = self._boff_bits + self._vault_bits + self._bank_bits
+        self._row_bits = cap_bits - self._row_lo
+        if self._row_bits < 0:
+            raise HMCAddressError(
+                f"capacity {config.capacity} GB too small for "
+                f"{config.num_vaults} vaults x {config.num_banks} banks "
+                f"at block size {config.bsize}"
+            )
+        # DRAM die select: the top bits of the row are attributed to the
+        # stacked die, mirroring how HMC-Sim reports DRAM coordinates.
+        self._dram_bits = min(self._row_bits, (config.num_drams - 1).bit_length())
+
+    # -- forward ------------------------------------------------------------
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decompose a physical byte address.
+
+        Raises:
+            HMCAddressError: if ``addr`` is outside the topology capacity.
+        """
+        cfg = self.config
+        if addr < 0 or addr >= cfg.total_bytes:
+            raise HMCAddressError(
+                f"address {addr:#x} outside capacity "
+                f"({cfg.num_devs} x {cfg.capacity} GB)"
+            )
+        a = addr
+        offset = a & (cfg.bsize - 1)
+        a >>= self._boff_bits
+        if self._vault_first:
+            vault = a & (cfg.num_vaults - 1)
+            a >>= self._vault_bits
+            bank = a & (cfg.num_banks - 1)
+            a >>= self._bank_bits
+        else:
+            bank = a & (cfg.num_banks - 1)
+            a >>= self._bank_bits
+            vault = a & (cfg.num_vaults - 1)
+            a >>= self._vault_bits
+        row = a & ((1 << self._row_bits) - 1)
+        a >>= self._row_bits
+        dev = a
+        dram = (row >> max(0, self._row_bits - self._dram_bits)) % cfg.num_drams
+        return DecodedAddress(
+            addr=addr,
+            dev=dev,
+            quad=cfg.quad_of_vault(vault),
+            vault=vault,
+            bank=bank,
+            dram=dram,
+            row=row,
+            offset=offset,
+        )
+
+    # -- inverse ------------------------------------------------------------
+
+    def encode(
+        self, vault: int, bank: int, row: int, offset: int = 0, dev: int = 0
+    ) -> int:
+        """Compose a physical address from device coordinates.
+
+        Raises:
+            HMCAddressError: if any coordinate is out of range.
+        """
+        cfg = self.config
+        if not 0 <= vault < cfg.num_vaults:
+            raise HMCAddressError(f"vault {vault} out of range")
+        if not 0 <= bank < cfg.num_banks:
+            raise HMCAddressError(f"bank {bank} out of range")
+        if not 0 <= row < (1 << self._row_bits):
+            raise HMCAddressError(f"row {row} out of range")
+        if not 0 <= offset < cfg.bsize:
+            raise HMCAddressError(f"offset {offset} out of range")
+        if not 0 <= dev < cfg.num_devs:
+            raise HMCAddressError(f"dev {dev} out of range")
+        a = dev
+        a = (a << self._row_bits) | row
+        if self._vault_first:
+            a = (a << self._bank_bits) | bank
+            a = (a << self._vault_bits) | vault
+        else:
+            a = (a << self._vault_bits) | vault
+            a = (a << self._bank_bits) | bank
+        a = (a << self._boff_bits) | offset
+        return a
+
+    def vault_of(self, addr: int) -> int:
+        """Fast path: just the vault index of ``addr``."""
+        lo = self._boff_bits if self._vault_first else self._boff_bits + self._bank_bits
+        return (addr >> lo) & (self.config.num_vaults - 1)
+
+    def bank_of(self, addr: int) -> int:
+        """Fast path: just the bank index of ``addr``."""
+        lo = self._boff_bits + self._vault_bits if self._vault_first else self._boff_bits
+        return (addr >> lo) & (self.config.num_banks - 1)
+
+    def dev_of(self, addr: int) -> int:
+        """Fast path: the cube (device) index of ``addr``."""
+        return addr // self.config.capacity_bytes
+
+    @property
+    def row_bits(self) -> int:
+        """Number of row-address bits per bank."""
+        return self._row_bits
+
+    def coordinates(self, addr: int) -> Tuple[int, int, int, int]:
+        """(dev, quad, vault, bank) of ``addr`` without full decode cost."""
+        v = self.vault_of(addr)
+        return (
+            self.dev_of(addr),
+            self.config.quad_of_vault(v),
+            v,
+            self.bank_of(addr),
+        )

@@ -1,0 +1,246 @@
+"""Built-in Gen2 atomic memory operations (Table I of the paper).
+
+Each atomic performs its read-modify-write against the backing store
+*in-situ*, exactly as the HMC logic layer would: the host never sees
+the intermediate value, and a single request packet carries the whole
+operation.  This is the property that yields the bandwidth advantage
+quantified in Table II (a cache-based increment costs a full read +
+write of a cache line; ``INC8`` costs one request FLIT and one
+response FLIT).
+
+Data-semantics conventions (pinned by ``tests/hmc/test_amo.py``):
+
+* All operands are little-endian.  8-byte arithmetic is signed 64-bit
+  two's complement; 16-byte arithmetic is signed 128-bit.
+* ``TWOADD8`` adds the payload's low 8 bytes to ``mem[addr]`` and its
+  high 8 bytes to ``mem[addr+8]``.
+* The "and return" variants (``TWOADDS8R``, ``ADDS16R``, ``BWR8R``,
+  the boolean ops, the CAS family, ``SWAP16``) return the **original**
+  memory operand (fetch-op semantics).
+* 8-byte CAS payloads are ``compare`` (low 8 bytes) + ``swap`` (high
+  8 bytes).  The 16-byte CAS variants carry only a 16-byte operand, so
+  the operand doubles as both comparand and swap value (``CASZERO16``
+  compares against zero); this interpretation is documented here
+  because the public 2.1 spec text is not available offline.
+* ``EQ8``/``EQ16`` return no data (1-FLIT response); the comparison
+  outcome is reported in the response ``ERRSTAT`` field — ``0`` for
+  equal, :data:`ERRSTAT_EQ_FAIL` for not-equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import HMCPacketError
+from repro.hmc.commands import command_info, hmc_rqst_t
+from repro.hmc.memory import MemoryBackend
+
+__all__ = ["AMOResult", "execute_amo", "is_amo", "ERRSTAT_EQ_FAIL"]
+
+#: ERRSTAT value reported by EQ8/EQ16 when the comparison fails.
+ERRSTAT_EQ_FAIL = 0x02
+
+_M64 = (1 << 64) - 1
+_M128 = (1 << 128) - 1
+
+
+@dataclass(frozen=True)
+class AMOResult:
+    """Outcome of one atomic: response payload bytes and error status."""
+
+    rsp_data: bytes = b""
+    errstat: int = 0
+
+
+def _i64(b: bytes) -> int:
+    return int.from_bytes(b, "little", signed=True)
+
+
+def _u128(b: bytes) -> int:
+    return int.from_bytes(b, "little")
+
+
+def _i128(b: bytes) -> int:
+    return int.from_bytes(b, "little", signed=True)
+
+
+# Each handler: (mem, addr, payload) -> AMOResult
+
+
+def _twoadd8(mem: MemoryBackend, addr: int, pl: bytes, ret: bool) -> AMOResult:
+    orig = mem.read(addr, 16)
+    a = (_i64(orig[:8]) + _i64(pl[:8])) & _M64
+    b = (_i64(orig[8:]) + _i64(pl[8:])) & _M64
+    mem.write(addr, a.to_bytes(8, "little") + b.to_bytes(8, "little"))
+    return AMOResult(orig if ret else b"")
+
+
+def _add16(mem: MemoryBackend, addr: int, pl: bytes, ret: bool) -> AMOResult:
+    orig = mem.read(addr, 16)
+    v = (_i128(orig) + _i128(pl)) & _M128
+    mem.write(addr, v.to_bytes(16, "little"))
+    return AMOResult(orig if ret else b"")
+
+
+def _inc8(mem: MemoryBackend, addr: int, _pl: bytes) -> AMOResult:
+    mem.write_u64(addr, (mem.read_u64(addr) + 1) & _M64)
+    return AMOResult()
+
+
+def _bool16(op: Callable[[int, int], int]) -> Callable[[MemoryBackend, int, bytes], AMOResult]:
+    def handler(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+        orig = mem.read(addr, 16)
+        v = op(_u128(orig), _u128(pl)) & _M128
+        mem.write(addr, v.to_bytes(16, "little"))
+        return AMOResult(orig)
+
+    return handler
+
+
+def _bwr(mem: MemoryBackend, addr: int, pl: bytes, ret: bool) -> AMOResult:
+    orig = mem.read(addr, 8)
+    d = int.from_bytes(pl[:8], "little")
+    m = int.from_bytes(pl[8:], "little")
+    o = int.from_bytes(orig, "little")
+    v = (o & ~m & _M64) | (d & m)
+    mem.write(addr, v.to_bytes(8, "little"))
+    # 16-byte response payload with the original 8 bytes in the low half.
+    return AMOResult(orig + bytes(8) if ret else b"")
+
+
+def _cas8(
+    cmp_fn: Callable[[int, int], bool]
+) -> Callable[[MemoryBackend, int, bytes], AMOResult]:
+    def handler(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+        compare, swap = pl[:8], pl[8:]
+        orig = mem.read(addr, 8)
+        if cmp_fn(_i64(orig), _i64(compare)):
+            mem.write(addr, swap)
+        return AMOResult(orig + bytes(8))
+
+    return handler
+
+
+def _cas16(
+    cmp_fn: Callable[[int, int], bool]
+) -> Callable[[MemoryBackend, int, bytes], AMOResult]:
+    def handler(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+        orig = mem.read(addr, 16)
+        if cmp_fn(_i128(orig), _i128(pl)):
+            mem.write(addr, pl)
+        return AMOResult(orig)
+
+    return handler
+
+
+def _caszero16(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+    orig = mem.read(addr, 16)
+    if _u128(orig) == 0:
+        mem.write(addr, pl)
+    return AMOResult(orig)
+
+
+def _eq(nbytes: int) -> Callable[[MemoryBackend, int, bytes], AMOResult]:
+    def handler(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+        orig = mem.read(addr, nbytes)
+        equal = orig == pl[:nbytes]
+        return AMOResult(b"", 0 if equal else ERRSTAT_EQ_FAIL)
+
+    return handler
+
+
+def _swap16(mem: MemoryBackend, addr: int, pl: bytes) -> AMOResult:
+    orig = mem.read(addr, 16)
+    mem.write(addr, pl)
+    return AMOResult(orig)
+
+
+R = hmc_rqst_t
+_HANDLERS: Dict[int, Callable[[MemoryBackend, int, bytes], AMOResult]] = {
+    int(R.TWOADD8): lambda m, a, p: _twoadd8(m, a, p, False),
+    int(R.P_2ADD8): lambda m, a, p: _twoadd8(m, a, p, False),
+    int(R.TWOADDS8R): lambda m, a, p: _twoadd8(m, a, p, True),
+    int(R.ADD16): lambda m, a, p: _add16(m, a, p, False),
+    int(R.P_ADD16): lambda m, a, p: _add16(m, a, p, False),
+    int(R.ADDS16R): lambda m, a, p: _add16(m, a, p, True),
+    int(R.INC8): _inc8,
+    int(R.P_INC8): _inc8,
+    int(R.XOR16): _bool16(lambda m, o: m ^ o),
+    int(R.OR16): _bool16(lambda m, o: m | o),
+    int(R.NOR16): _bool16(lambda m, o: ~(m | o)),
+    int(R.AND16): _bool16(lambda m, o: m & o),
+    int(R.NAND16): _bool16(lambda m, o: ~(m & o)),
+    int(R.BWR): lambda m, a, p: _bwr(m, a, p, False),
+    int(R.P_BWR): lambda m, a, p: _bwr(m, a, p, False),
+    int(R.BWR8R): lambda m, a, p: _bwr(m, a, p, True),
+    int(R.CASEQ8): _cas8(lambda mv, cv: mv == cv),
+    int(R.CASGT8): _cas8(lambda mv, cv: mv > cv),
+    int(R.CASLT8): _cas8(lambda mv, cv: mv < cv),
+    int(R.CASGT16): _cas16(lambda mv, cv: mv > cv),
+    int(R.CASLT16): _cas16(lambda mv, cv: mv < cv),
+    int(R.CASZERO16): _caszero16,
+    int(R.EQ8): _eq(8),
+    int(R.EQ16): _eq(16),
+    int(R.SWAP16): _swap16,
+}
+
+
+def is_amo(cmd: int) -> bool:
+    """True if ``cmd`` is a Gen2 atomic (posted or returning)."""
+    return cmd in _HANDLERS
+
+
+def execute_amo(
+    mem: MemoryBackend, addr: int, cmd: int, payload: bytes
+) -> AMOResult:
+    """Execute one atomic in-situ.
+
+    Args:
+        mem: the device backing store.
+        addr: target base address from the request header.
+        cmd: the 7-bit request command code (must satisfy :func:`is_amo`).
+        payload: the request data payload; its length must match the
+            command's registered request size (0 or 16 bytes).
+
+    Returns:
+        The response payload (sized per Table I) and error status.
+
+    Raises:
+        HMCPacketError: for unknown commands or mis-sized payloads.
+    """
+    handler = _HANDLERS.get(cmd)
+    if handler is None:
+        raise HMCPacketError(f"command {cmd} is not a Gen2 atomic")
+    info = command_info(hmc_rqst_t(cmd))
+    want = info.rqst_data_bytes or 0
+    if len(payload) != want:
+        raise HMCPacketError(
+            f"{hmc_rqst_t(cmd).name}: atomic payload is {len(payload)} bytes, "
+            f"expected {want}"
+        )
+    result = handler(mem, addr, payload)
+    want_rsp = info.rsp_data_bytes or 0
+    if len(result.rsp_data) != want_rsp:
+        raise HMCPacketError(
+            f"{hmc_rqst_t(cmd).name}: atomic produced {len(result.rsp_data)} "
+            f"response bytes, expected {want_rsp}"
+        )
+    return result
+
+
+def reference_amo(cmd: int, mem_before: bytes, payload: bytes) -> Tuple[bytes, bytes, int]:
+    """Pure-functional reference model used by property tests.
+
+    Args:
+        cmd: atomic command code.
+        mem_before: 16 bytes of memory at the target address.
+        payload: request payload (may be empty for INC8).
+
+    Returns:
+        ``(mem_after, rsp_data, errstat)``.
+    """
+    mem = MemoryBackend(16)
+    mem.write(0, mem_before)
+    result = execute_amo(mem, 0, cmd, payload)
+    return mem.read(0, 16), result.rsp_data, result.errstat

@@ -1,0 +1,121 @@
+"""Simulation checkpoint and restore.
+
+Long simulations (the HMC-Sim user community runs kernels for millions
+of cycles) benefit from snapshotting: capture the device-visible state
+— memory image, registers, cycle counter, statistics — and later
+restore it into a context built with the same configuration.
+
+Scope: a checkpoint captures *quiesced* state.  Taking one while
+packets are in flight raises, because generator-based host programs
+cannot be serialized; call :meth:`HMCSim.drain` first.  The CMC
+registry is intentionally **not** serialized (plugins are code, not
+state — reload them after restore), matching how the C simulator
+would reload shared libraries in a new process.
+
+The on-disk format is a versioned, self-describing pickle-free
+structure written with :mod:`json` + raw page blobs, so checkpoints
+remain inspectable and robust across library versions.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import HMCSimError
+from repro.hmc.sim import HMCSim
+
+__all__ = ["save_checkpoint", "restore_checkpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
+    cfg = sim.config
+    return {
+        "num_devs": cfg.num_devs,
+        "num_links": cfg.num_links,
+        "num_vaults": cfg.num_vaults,
+        "num_banks": cfg.num_banks,
+        "capacity": cfg.capacity,
+        "queue_depth": cfg.queue_depth,
+        "xbar_depth": cfg.xbar_depth,
+        "bsize": cfg.bsize,
+        "addr_interleave": cfg.addr_interleave,
+    }
+
+
+def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
+    """Write a checkpoint of a quiesced context.
+
+    Raises:
+        HMCSimError: if packets are still in flight (drain first).
+    """
+    if not sim.idle():
+        raise HMCSimError(
+            "cannot checkpoint with packets in flight — call drain() first"
+        )
+    pages = [
+        {"base": base_addr, "data": base64.b64encode(content).decode("ascii")}
+        for base_addr, content in sim.backend.iter_resident()
+    ]
+    registers = [dev.registers.snapshot() for dev in sim.devices]
+    doc = {
+        "version": CHECKPOINT_VERSION,
+        "config": _config_fingerprint(sim),
+        "cycle": sim.cycle,
+        "counters": {
+            "sent_rqsts": sim.sent_rqsts,
+            "send_stalls": sim.send_stalls,
+            "recvd_rsps": sim.recvd_rsps,
+        },
+        "pages": pages,
+        "registers": registers,
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc))
+    return p
+
+
+def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
+    """Load a checkpoint into a freshly built context.
+
+    The target context must have an equivalent configuration; CMC
+    plugins must be re-loaded by the caller afterwards.
+
+    Raises:
+        HMCSimError: version or configuration mismatch, or a non-idle
+            target context.
+    """
+    if not sim.idle():
+        raise HMCSimError("cannot restore into a context with packets in flight")
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != CHECKPOINT_VERSION:
+        raise HMCSimError(
+            f"checkpoint version {doc.get('version')} is not supported "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    want = _config_fingerprint(sim)
+    if doc["config"] != want:
+        raise HMCSimError(
+            f"checkpoint configuration {doc['config']} does not match the "
+            f"target context {want}"
+        )
+    sim.backend.clear()
+    for page in doc["pages"]:
+        sim.backend.write(page["base"], base64.b64decode(page["data"]))
+    from repro.hmc.registers import HMC_REG
+
+    for dev, snapshot in zip(sim.devices, doc["registers"]):
+        for name, value in snapshot.items():
+            if name in ("FEAT", "RVID"):
+                continue  # read-only; derived from the configuration
+            dev.registers.write(HMC_REG[name], value)
+    sim._cycle = doc["cycle"]
+    counters = doc["counters"]
+    sim.sent_rqsts = counters["sent_rqsts"]
+    sim.send_stalls = counters["send_stalls"]
+    sim.recvd_rsps = counters["recvd_rsps"]

@@ -1,0 +1,191 @@
+"""Device configuration and validation for HMC Gen2 simulations.
+
+Mirrors the argument set (and legality checks) of ``hmcsim_init`` in
+HMC-Sim: number of devices, links, vaults, banks, DRAM dies, capacity,
+and the two queue depths; plus the maximum block size set through
+``hmcsim_util_set_max_blocksize``.
+
+The paper's evaluation uses two configurations which are provided as
+constructors: :meth:`HMCConfig.cfg_4link_4gb` and
+:meth:`HMCConfig.cfg_8link_8gb` (max block size 64 bytes, request queue
+depth 64, crossbar queue depth 128 — §V.B of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import HMCConfigError
+
+__all__ = ["HMCConfig", "NUM_QUADS"]
+
+#: An HMC device always has four logic-layer quadrants.
+NUM_QUADS = 4
+
+_VALID_LINKS = (4, 8)
+_VALID_CAPACITY_GB = (2, 4, 8)
+_VALID_VAULTS = (16, 32)
+_VALID_BANKS = (8, 16)
+_VALID_DRAMS = (16, 20)
+_VALID_BSIZE = (32, 64, 128, 256)
+_MAX_DEVS = 8  # CUB field is 3 bits
+
+
+@dataclass(frozen=True)
+class HMCConfig:
+    """Validated configuration for one simulation context.
+
+    Attributes:
+        num_devs: devices in the (possibly chained) topology, 1..8.
+        num_links: host links per device (4 or 8).
+        num_vaults: vaults per device (16 or 32).
+        queue_depth: vault request queue depth in slots.
+        num_banks: banks per vault (8 or 16).
+        num_drams: DRAM dies per device (16 or 20).
+        capacity: device capacity in GB (2, 4, or 8).
+        xbar_depth: per-link crossbar queue depth in slots.
+        bsize: maximum block size in bytes (32..256); controls the
+            address-interleave boundary.
+        check_crc: verify packet CRCs on receive (slower; default off,
+            matching HMC-Sim's behaviour of trusting its own encoder).
+        nonlocal_hop_cycles: extra crossbar cycles when a request enters
+            on a link whose quad does not own the target vault.
+        link_rsp_rate: response packets a link can retire to the host
+            per device cycle (the serial link's finite bandwidth).
+            Saturates per-link, so it is the source of the (small)
+            4-link/8-link divergence past ~50 threads in the paper's
+            Figures 5-7.
+        vault_rsp_rate: response packets one vault can push into the
+            crossbar per device cycle (the vault's response port).
+            Link-count *independent*, so under the paper's single-
+            lock hot spot it is the dominant bottleneck that makes
+            the two configurations saturate at the same thread count,
+            with the 8-link device ahead by only ~1-2%.
+    """
+
+    num_devs: int = 1
+    num_links: int = 4
+    num_vaults: int = 32
+    queue_depth: int = 64
+    num_banks: int = 16
+    num_drams: int = 20
+    capacity: int = 4
+    xbar_depth: int = 128
+    bsize: int = 64
+    check_crc: bool = False
+    nonlocal_hop_cycles: int = 0
+    link_rsp_rate: int = 4
+    vault_rsp_rate: int = 16
+    #: Address interleave order above the block offset: "vault" (the
+    #: spec default: consecutive blocks sweep vaults, then banks) or
+    #: "bank" (consecutive blocks sweep banks within one vault first).
+    addr_interleave: str = "vault"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_devs <= _MAX_DEVS:
+            raise HMCConfigError(
+                f"num_devs={self.num_devs}: the 3-bit CUB field supports 1..{_MAX_DEVS} devices"
+            )
+        if self.num_links not in _VALID_LINKS:
+            raise HMCConfigError(f"num_links={self.num_links}: must be one of {_VALID_LINKS}")
+        if self.num_vaults not in _VALID_VAULTS:
+            raise HMCConfigError(f"num_vaults={self.num_vaults}: must be one of {_VALID_VAULTS}")
+        if self.num_banks not in _VALID_BANKS:
+            raise HMCConfigError(f"num_banks={self.num_banks}: must be one of {_VALID_BANKS}")
+        if self.num_drams not in _VALID_DRAMS:
+            raise HMCConfigError(f"num_drams={self.num_drams}: must be one of {_VALID_DRAMS}")
+        if self.capacity not in _VALID_CAPACITY_GB:
+            raise HMCConfigError(f"capacity={self.capacity}: must be one of {_VALID_CAPACITY_GB} (GB)")
+        if self.queue_depth < 2:
+            raise HMCConfigError(f"queue_depth={self.queue_depth}: minimum depth is 2")
+        if self.xbar_depth < 2:
+            raise HMCConfigError(f"xbar_depth={self.xbar_depth}: minimum depth is 2")
+        if self.bsize not in _VALID_BSIZE:
+            raise HMCConfigError(f"bsize={self.bsize}: must be one of {_VALID_BSIZE}")
+        if self.nonlocal_hop_cycles < 0:
+            raise HMCConfigError("nonlocal_hop_cycles must be >= 0")
+        if self.link_rsp_rate < 1:
+            raise HMCConfigError("link_rsp_rate must be >= 1")
+        if self.vault_rsp_rate < 1:
+            raise HMCConfigError("vault_rsp_rate must be >= 1")
+        if self.addr_interleave not in ("vault", "bank"):
+            raise HMCConfigError(
+                f"addr_interleave={self.addr_interleave!r}: must be 'vault' or 'bank'"
+            )
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity of one device in bytes."""
+        return self.capacity << 30
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity of the whole topology in bytes."""
+        return self.capacity_bytes * self.num_devs
+
+    @property
+    def vaults_per_quad(self) -> int:
+        """Vaults owned by each of the four logic-layer quadrants."""
+        return self.num_vaults // NUM_QUADS
+
+    @property
+    def links_per_quad(self) -> int:
+        """Host links attached to each quadrant (1 for 4-link, 2 for 8-link)."""
+        return self.num_links // NUM_QUADS
+
+    def quad_of_vault(self, vault: int) -> int:
+        """Quadrant that owns ``vault``."""
+        return vault // self.vaults_per_quad
+
+    def local_link_of_quad(self, quad: int) -> int:
+        """The first (lowest-numbered) link attached to ``quad``."""
+        return quad * self.links_per_quad
+
+    def quad_of_link(self, link: int) -> int:
+        """Quadrant a link is physically attached to."""
+        return link // self.links_per_quad
+
+    # -- the paper's two evaluation configurations --------------------------
+
+    @classmethod
+    def cfg_4link_4gb(cls, **overrides: object) -> "HMCConfig":
+        """The paper's 4Link-4GB configuration (§V.B)."""
+        cfg = cls(
+            num_devs=1,
+            num_links=4,
+            num_vaults=32,
+            queue_depth=64,
+            num_banks=16,
+            num_drams=20,
+            capacity=4,
+            xbar_depth=128,
+            bsize=64,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @classmethod
+    def cfg_8link_8gb(cls, **overrides: object) -> "HMCConfig":
+        """The paper's 8Link-8GB configuration (§V.B)."""
+        cfg = cls(
+            num_devs=1,
+            num_links=8,
+            num_vaults=32,
+            queue_depth=64,
+            num_banks=16,
+            num_drams=20,
+            capacity=8,
+            xbar_depth=128,
+            bsize=64,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def describe(self) -> str:
+        """Short human-readable configuration name, e.g. ``4Link-4GB``."""
+        return f"{self.num_links}Link-{self.capacity}GB"
+
+    def geometry(self) -> Tuple[int, int, int, int]:
+        """(devices, links, vaults, banks) tuple for quick inspection."""
+        return (self.num_devs, self.num_links, self.num_vaults, self.num_banks)

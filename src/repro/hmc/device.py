@@ -1,0 +1,324 @@
+"""One HMC device: links, crossbar, vaults, registers, and its clock.
+
+The device advances in three fixed phases per cycle (see DESIGN.md §2),
+ordered so that an uncontended request completes its round trip in
+exactly three cycles — the calibration that makes the paper's
+Algorithm 1 fast path cost MIN_CYCLE = 6:
+
+1. **Retire** — one response per link moves from the crossbar response
+   queue to the link retire buffer (and, in chained topologies,
+   responses belonging to another cube are handed to the topology for
+   the return trip).
+2. **Vault execute** — each vault issues at most one request from its
+   queue head (blocked by busy banks and by a full response path).
+3. **XBar drain** — one request per link routes from the crossbar
+   request queue to its target vault queue (or to the topology when
+   the packet's CUB names another cube).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.hmc.commands import CommandKind, command_for_code
+from repro.hmc.config import HMCConfig
+from repro.hmc.link import Link
+from repro.hmc.memory import MemoryView
+from repro.hmc.packet import RequestPacket, ResponsePacket
+from repro.hmc.registers import RegisterFile
+from repro.hmc.trace import TraceLevel
+from repro.hmc.vault import Vault
+from repro.hmc.xbar import Flight, XBar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hmc.sim import HMCSim
+
+__all__ = ["Device"]
+
+
+class Device:
+    """One Hybrid Memory Cube in a simulation context."""
+
+    def __init__(self, dev: int, config: HMCConfig, sim: "HMCSim"):
+        self.dev = dev
+        self.config = config
+        self.sim = sim
+        self.links: List[Link] = [
+            Link(l, config.quad_of_link(l)) for l in range(config.num_links)
+        ]
+        self.xbar = XBar(config, dev)
+        self.vaults: List[Vault] = [
+            Vault(v, config.quad_of_vault(v), config.queue_depth, config.num_banks, dev)
+            for v in range(config.num_vaults)
+        ]
+        self.registers = RegisterFile(config, dev)
+        self._mem: MemoryView = sim.backend.view(
+            dev * config.capacity_bytes, config.capacity_bytes
+        )
+        # Counters.
+        self.cmc_rejects = 0
+        self.cmc_failures = 0
+        self.flow_packets = 0
+        self.forwarded_rqsts = 0
+        self.retired_rsps = 0
+
+    # -- services shared with the vault pipeline ------------------------------
+
+    @property
+    def tracer(self):
+        """The simulation-wide tracer."""
+        return self.sim.tracer
+
+    @property
+    def cmc(self):
+        """The simulation-wide CMC registry."""
+        return self.sim.cmc
+
+    @property
+    def timing(self):
+        """Optional DRAM timing model."""
+        return self.sim.timing
+
+    @property
+    def power(self):
+        """Optional power model."""
+        return self.sim.power
+
+    @property
+    def power_report(self):
+        """Simulation-wide power accumulator."""
+        return self.sim.power_report
+
+    @property
+    def flow(self):
+        """Optional link-layer flow-control model."""
+        return self.sim.flow
+
+    def mem_read(self, addr: int, nbytes: int) -> bytes:
+        """Read device-local memory (bounds-checked)."""
+        return self._mem.read(addr, nbytes)
+
+    def mem_write(self, addr: int, data: bytes) -> None:
+        """Write device-local memory (bounds-checked)."""
+        self._mem.write(addr, data)
+
+    def amo_view(self) -> MemoryView:
+        """The rebased memory window the atomic unit operates on."""
+        return self._mem
+
+    def row_of(self, addr: int) -> int:
+        """Row coordinate of a device-local address (for bank timing)."""
+        return self.sim.addrmap.decode(addr % self.config.capacity_bytes).row
+
+    # -- host interface --------------------------------------------------------
+
+    def send(self, link: int, pkt: RequestPacket, cycle: int) -> bool:
+        """Inject a request on ``link``; False = HMC_STALL (queue full)."""
+        if not 0 <= link < self.config.num_links:
+            raise ValueError(f"device {self.dev} has no link {link}")
+        pkt.slid = link
+        local = pkt.addr % self.config.capacity_bytes
+        vault = self.sim.addrmap.vault_of(local)
+        bank = self.sim.addrmap.bank_of(local)
+        quad = self.config.quad_of_vault(vault)
+        hop = (
+            self.config.nonlocal_hop_cycles
+            if self.config.quad_of_link(link) != quad
+            else 0
+        )
+        flight = Flight(
+            pkt=pkt,
+            src_link=link,
+            inject_cycle=cycle,
+            vault=vault,
+            bank=bank,
+            quad=quad,
+            hop_delay=hop,
+            origin_dev=self.dev,
+        )
+        if self.flow is not None and not self.flow.try_acquire(
+            self.dev, link, pkt.lng
+        ):
+            # Link-layer token stall: the transmitter has no credit.
+            self.tracer.trace_stall(
+                cycle, where=f"link{link}.tokens", dev=self.dev, src=link
+            )
+            return False
+        ok = self.xbar.inject(link, flight)
+        if self.flow is not None:
+            if ok:
+                flight.link_seq = self.flow.on_transmit(
+                    self.dev, link, pkt.lng, flight
+                )
+            else:
+                # Queue full after credit was granted: hand it back.
+                self.flow.refund(self.dev, link, pkt.lng)
+        if ok:
+            self.links[link].rqsts_in += 1
+            self.links[link].flits_in += pkt.lng
+        else:
+            self.tracer.trace_stall(
+                cycle, where=f"link{link}.xbar_rqst", dev=self.dev, src=link
+            )
+        return ok
+
+    def recv(self, link: int) -> Optional[ResponsePacket]:
+        """Collect the oldest retired response on ``link``, or None."""
+        return self.links[link].recv()
+
+    def accept_forwarded(self, flight: Flight, link: int) -> bool:
+        """Receive a request forwarded from a neighbouring cube."""
+        flight.chain_hops += 1
+        return self.xbar.inject(link, flight)
+
+    # -- clock phases ------------------------------------------------------------
+
+    def clock(self, cycle: int) -> None:
+        """Advance this device one cycle (three phases, fixed order)."""
+        self._phase_retire(cycle)
+        self._phase_vault_execute(cycle)
+        self._phase_xbar_drain(cycle)
+
+    def _phase_retire(self, cycle: int) -> None:
+        # A link retires up to config.link_rsp_rate response packets
+        # per device cycle — the serial link moves several packets per
+        # device clock, but not unboundedly many.  Per-link response
+        # bandwidth is what saturates first under the paper's hot-spot
+        # workload, and it saturates at roughly half the thread count
+        # on a 4-link device compared to an 8-link one.
+        trace_cmd = self.tracer.enabled(TraceLevel.CMD)
+        trace_lat = self.tracer.enabled(TraceLevel.LATENCY)
+        for link in self.links:
+            for _ in range(self.config.link_rsp_rate):
+                rsp = self.xbar.pop_response(link.link_id)
+                if rsp is None:
+                    break
+                rsp.retire_cycle = cycle
+                if rsp.origin_dev not in (-1, self.dev):
+                    # Response belongs to a request that entered on
+                    # another cube: hand it to the topology for the
+                    # return trip.
+                    self.sim.topology.forward_response(self.dev, rsp, cycle)
+                    continue
+                link.retire(rsp)
+                self.retired_rsps += 1
+                if trace_cmd:
+                    resp = rsp.response
+                    op = resp.name if resp is not None else f"CMC_RSP({rsp.cmd})"
+                    self.tracer.trace_rsp(
+                        cycle, op=op, dev=self.dev, link=link.link_id, tag=rsp.tag
+                    )
+                if trace_lat and rsp.inject_cycle >= 0:
+                    self.tracer.trace_latency(
+                        cycle, tag=rsp.tag, cycles=cycle - rsp.inject_cycle
+                    )
+
+    def _phase_vault_execute(self, cycle: int) -> None:
+        for vault in self.vaults:
+            if not vault.flush_pending(self, cycle):
+                continue
+            vault.step(self, cycle)
+
+    def _phase_xbar_drain(self, cycle: int) -> None:
+        # Each link's crossbar queue drains fully per cycle (in order),
+        # blocking only on a full vault queue — the crossbar, like the
+        # vault queues, models capacity.  The fixed link iteration
+        # order is the source of the small 4-link/8-link ordering
+        # perturbations the paper observes past ~50 threads, once the
+        # hot vault's 64-slot queue overflows back into the per-link
+        # crossbar queues.
+        for link_id in range(self.config.num_links):
+            if self.flow is not None:
+                # Replay packets whose link-retry latency has elapsed.
+                for replay in self.flow.due_replays(self.dev, link_id, cycle):
+                    if self.flow.try_acquire(self.dev, link_id, replay.pkt.lng):
+                        if self.xbar.inject(link_id, replay):
+                            replay.link_seq = self.flow.on_transmit(
+                                self.dev, link_id, replay.pkt.lng, replay
+                            )
+                        else:
+                            self.flow.refund(self.dev, link_id, replay.pkt.lng)
+                            self.flow.state(self.dev, link_id).replay_queue.append(
+                                (cycle + 1, replay)
+                            )
+                    else:
+                        self.flow.state(self.dev, link_id).replay_queue.append(
+                            (cycle + 1, replay)
+                        )
+            while True:
+                flight = self.xbar.head_request(link_id)
+                if flight is None:
+                    break
+                if flight.hop_delay > 0:
+                    flight.hop_delay -= 1
+                    break
+                if (
+                    self.flow is not None
+                    and flight.link_seq >= 0
+                    and self.flow.transmission_corrupted(
+                        self.dev, link_id, flight.link_seq
+                    )
+                ):
+                    # CRC error at the receiver: drop the packet and
+                    # negatively acknowledge — the transmitter will
+                    # replay it from the retry buffer (IRTRY).
+                    self.xbar.pop_request(link_id)
+                    self.flow.negative_acknowledge(
+                        self.dev, link_id, flight.link_seq, cycle, flight.pkt.tag
+                    )
+                    self.tracer.trace_stall(
+                        cycle, where=f"link{link_id}.retry", dev=self.dev, src=link_id
+                    )
+                    continue
+                info = command_for_code(flight.pkt.cmd)
+                if info.kind is CommandKind.FLOW:
+                    # Flow packets are consumed at the link layer.
+                    self.xbar.pop_request(link_id)
+                    self.flow_packets += 1
+                    self._flow_ack(link_id, flight)
+                    continue
+                if flight.pkt.cub != self.dev and self.sim.config.num_devs > 1:
+                    self.xbar.pop_request(link_id)
+                    self.forwarded_rqsts += 1
+                    self._flow_ack(link_id, flight)
+                    self.sim.topology.forward_request(self.dev, flight, link_id)
+                    continue
+                if self.vaults[flight.vault].push(flight):
+                    self.xbar.pop_request(link_id)
+                    self._flow_ack(link_id, flight)
+                else:
+                    self.tracer.trace_stall(
+                        cycle,
+                        where=f"vault{flight.vault}.rqst",
+                        dev=self.dev,
+                        src=link_id,
+                    )
+                    break
+
+    def _flow_ack(self, link_id: int, flight: Flight) -> None:
+        """Release a packet's retry-buffer slot and return its tokens
+        once it has left the crossbar (the receive buffer is free)."""
+        if self.flow is not None and flight.link_seq >= 0:
+            self.flow.acknowledge(self.dev, link_id, flight.link_seq)
+
+    # -- statistics ------------------------------------------------------------
+
+    def queue_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-queue stall/occupancy statistics for this device."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for q in self.xbar.rqst_queues + self.xbar.rsp_queues:
+            stats[q.name] = {
+                "pushes": q.pushes,
+                "pops": q.pops,
+                "stalls": q.stalls,
+                "high_water": q.high_water,
+            }
+        for v in self.vaults:
+            q = v.rqst_queue
+            stats[q.name] = {
+                "pushes": q.pushes,
+                "pops": q.pops,
+                "stalls": q.stalls,
+                "high_water": q.high_water,
+            }
+        return stats

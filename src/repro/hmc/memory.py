@@ -1,0 +1,194 @@
+"""Sparse backing store for HMC device memory.
+
+HMC-Sim 1.0 modelled only request *flow*; HMC-Sim 2.0 must hold real
+data so that atomic and CMC operations can read-modify-write it.  An
+8 GB address space cannot be allocated eagerly, so the store is paged:
+4 KiB ``bytearray`` pages are materialized on first touch and untouched
+regions read as zero (the initial state the paper's mutex model relies
+on: "the mutex values are initialized to a known state that signifies
+that no locks are present").
+
+Typed accessors for the 8- and 16-byte operands used by the Gen2
+atomics are provided; all multi-byte values are little-endian.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import HMCAddressError
+
+__all__ = ["MemoryBackend", "MemoryView", "PAGE_SIZE"]
+
+#: Bytes per lazily-allocated page.
+PAGE_SIZE = 4096
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryBackend:
+    """Lazily paged byte-addressable memory of a fixed capacity.
+
+    Args:
+        capacity: total bytes addressable through this store.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- bulk access ---------------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.capacity:
+            raise HMCAddressError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside "
+                f"capacity {self.capacity:#x}"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` starting at ``addr`` (zero-fill for cold pages)."""
+        self._check(addr, nbytes)
+        out = bytearray()
+        while nbytes > 0:
+            page_no, off = addr >> 12, addr & _PAGE_MASK
+            take = min(nbytes, PAGE_SIZE - off)
+            page = self._pages.get(page_no)
+            if page is None:
+                out += bytes(take)
+            else:
+                out += page[off : off + take]
+            addr += take
+            nbytes -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+        self._check(addr, len(data))
+        pos = 0
+        nbytes = len(data)
+        while pos < nbytes:
+            page_no, off = addr >> 12, addr & _PAGE_MASK
+            take = min(nbytes - pos, PAGE_SIZE - off)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_no] = page
+            page[off : off + take] = data[pos : pos + take]
+            addr += take
+            pos += take
+
+    # -- typed accessors (little-endian) --------------------------------------
+
+    def read_u64(self, addr: int) -> int:
+        """Read an unsigned 64-bit value."""
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write an unsigned 64-bit value (masked to 64 bits)."""
+        self.write(addr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def read_i64(self, addr: int) -> int:
+        """Read a signed 64-bit value."""
+        return int.from_bytes(self.read(addr, 8), "little", signed=True)
+
+    def write_i64(self, addr: int, value: int) -> None:
+        """Write a signed 64-bit value (two's-complement wrapped)."""
+        self.write_u64(addr, value & ((1 << 64) - 1))
+
+    def read_u128(self, addr: int) -> int:
+        """Read an unsigned 128-bit value."""
+        return int.from_bytes(self.read(addr, 16), "little")
+
+    def write_u128(self, addr: int, value: int) -> None:
+        """Write an unsigned 128-bit value (masked to 128 bits)."""
+        self.write(addr, (value & ((1 << 128) - 1)).to_bytes(16, "little"))
+
+    def read_i128(self, addr: int) -> int:
+        """Read a signed 128-bit value."""
+        return int.from_bytes(self.read(addr, 16), "little", signed=True)
+
+    def write_i128(self, addr: int, value: int) -> None:
+        """Write a signed 128-bit value (two's-complement wrapped)."""
+        self.write_u128(addr, value & ((1 << 128) - 1))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages materialized so far."""
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of host memory consumed by materialized pages."""
+        return len(self._pages) * PAGE_SIZE
+
+    def iter_resident(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(base_address, page_bytes)`` for each materialized page."""
+        for page_no in sorted(self._pages):
+            yield page_no << 12, bytes(self._pages[page_no])
+
+    def clear(self) -> None:
+        """Drop every page, returning the store to all-zeros."""
+        self._pages.clear()
+
+    def view(self, base: int, size: int) -> "MemoryView":
+        """A window of this store rebased to address 0 (one device's
+        slice of a chained topology's global store)."""
+        return MemoryView(self, base, size)
+
+
+class MemoryView:
+    """A bounds-checked, rebased window onto a :class:`MemoryBackend`.
+
+    Exposes the same accessor API as the backend; used to hand each
+    device (and the atomic unit) a view where local address 0 is the
+    device's first byte.
+    """
+
+    __slots__ = ("_backend", "_base", "capacity")
+
+    def __init__(self, backend: MemoryBackend, base: int, size: int):
+        if base < 0 or size < 0 or base + size > backend.capacity:
+            raise HMCAddressError(
+                f"view [{base:#x}, {base + size:#x}) outside backend capacity"
+            )
+        self._backend = backend
+        self._base = base
+        self.capacity = size
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.capacity:
+            raise HMCAddressError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside "
+                f"view capacity {self.capacity:#x}"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at view-local ``addr``."""
+        self._check(addr, nbytes)
+        return self._backend.read(self._base + addr, nbytes)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at view-local ``addr``."""
+        self._check(addr, len(data))
+        self._backend.write(self._base + addr, data)
+
+    def read_u64(self, addr: int) -> int:
+        """Read an unsigned 64-bit value."""
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write an unsigned 64-bit value (masked to 64 bits)."""
+        self.write(addr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def read_u128(self, addr: int) -> int:
+        """Read an unsigned 128-bit value."""
+        return int.from_bytes(self.read(addr, 16), "little")
+
+    def write_u128(self, addr: int, value: int) -> None:
+        """Write an unsigned 128-bit value (masked to 128 bits)."""
+        self.write(addr, (value & ((1 << 128) - 1)).to_bytes(16, "little"))

@@ -1,0 +1,387 @@
+"""HMC 2.0/2.1 packet formats: request/response head & tail encode/decode.
+
+A packet is a sequence of FLITs (128 bits each), represented in the
+simulator — exactly as in HMC-Sim — as a flat list of 64-bit words:
+``[head, data0, data1, ..., tail]``.  A packet of *L* FLITs is ``2*L``
+words; the head is the low 64 bits of the first FLIT and the tail the
+high 64 bits of the last FLIT, leaving ``(L-1) * 16`` bytes of data
+payload in between.
+
+Field layout (HMC-Sim 2.0 conventions for the 2.0/2.1 specification):
+
+Request head::
+
+    [6:0]   CMD   request command
+    [11:7]  LNG   packet length in FLITs (includes head+tail)
+    [22:12] TAG   host-assigned tag echoed in the response
+    [57:24] ADRS  34-bit target byte address
+    [60:58] RES   reserved
+    [63:61] CUB   target cube id (device routing)
+
+Request tail::
+
+    [8:0]   RRP   return retry pointer
+    [17:9]  FRP   forward retry pointer
+    [20:18] SEQ   sequence number
+    [21]    Pb    poison bit
+    [24:22] SLID  source link id
+    [28:25] RES   reserved
+    [31:29] RTC   return token count
+    [63:32] CRC   Koopman CRC-32 over the packet
+
+Response head::
+
+    [6:0]   CMD   response command
+    [11:7]  LNG   packet length in FLITs
+    [22:12] TAG   echoed request tag
+    [25:23] SLID  source link id (for host-side routing)
+    [60:26] RES   reserved
+    [63:61] CUB   originating cube id
+
+Response tail::
+
+    [8:0]   RRP
+    [17:9]  FRP
+    [20:18] SEQ
+    [21]    DINV  data-invalid (CRC failure) flag
+    [28:22] ERRSTAT  7-bit error status
+    [31:29] RTC
+    [63:32] CRC
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import HMCPacketError
+from repro.hmc import crc as _crc
+from repro.hmc.commands import (
+    FLIT_BYTES,
+    MAX_PACKET_FLITS,
+    CommandKind,
+    command_for_code,
+    command_info,
+    hmc_response_t,
+    hmc_rqst_t,
+)
+
+__all__ = [
+    "RequestPacket",
+    "ResponsePacket",
+    "pack_data",
+    "unpack_data",
+    "field_get",
+    "field_set",
+    "MAX_TAG",
+    "MAX_CUB",
+    "ADDR_MASK",
+]
+
+_U64 = (1 << 64) - 1
+
+#: Largest encodable tag (11-bit TAG field).
+MAX_TAG = (1 << 11) - 1
+#: Largest encodable cube id (3-bit CUB field).
+MAX_CUB = (1 << 3) - 1
+#: Mask for the 34-bit ADRS field.
+ADDR_MASK = (1 << 34) - 1
+
+
+def field_get(word: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits starting at bit ``lo`` from a 64-bit word."""
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def field_set(word: int, lo: int, width: int, value: int) -> int:
+    """Return ``word`` with ``width`` bits at ``lo`` replaced by ``value``.
+
+    Raises:
+        HMCPacketError: if ``value`` does not fit in ``width`` bits.
+    """
+    if value < 0 or value >= (1 << width):
+        raise HMCPacketError(
+            f"value {value:#x} does not fit in a {width}-bit packet field"
+        )
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask & _U64) | (value << lo)
+
+
+def pack_data(data: bytes) -> List[int]:
+    """Pack a byte payload into little-endian 64-bit data words.
+
+    Raises:
+        HMCPacketError: if the payload length is not a multiple of 8.
+    """
+    if len(data) % 8 != 0:
+        raise HMCPacketError(f"payload length {len(data)} is not 64-bit aligned")
+    return [
+        int.from_bytes(data[i : i + 8], "little") for i in range(0, len(data), 8)
+    ]
+
+
+def unpack_data(words: Sequence[int]) -> bytes:
+    """Inverse of :func:`pack_data`."""
+    return b"".join((w & _U64).to_bytes(8, "little") for w in words)
+
+
+@dataclass
+class RequestPacket:
+    """A decoded HMC request packet.
+
+    ``data`` is the raw payload (``(lng-1)*16`` bytes).  Tail link-layer
+    fields default to zero; the simulator populates ``slid`` on send so
+    responses can be routed back to the originating link.
+    """
+
+    cmd: int
+    tag: int
+    addr: int
+    cub: int = 0
+    data: bytes = b""
+    rrp: int = 0
+    frp: int = 0
+    seq: int = 0
+    pb: int = 0
+    slid: int = 0
+    rtc: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        rqst: hmc_rqst_t,
+        addr: int,
+        tag: int,
+        *,
+        cub: int = 0,
+        data: bytes = b"",
+        rqst_flits: Optional[int] = None,
+    ) -> "RequestPacket":
+        """Build a request for a known command, validating payload size.
+
+        For specification-defined commands the packet length comes from
+        the command table and ``data`` must match it exactly.  For CMC
+        commands the caller (normally the CMC registry) supplies
+        ``rqst_flits``; the payload is zero-padded up to the registered
+        length.
+
+        Raises:
+            HMCPacketError: on size/field violations.
+        """
+        info = command_info(rqst)
+        if info.kind is CommandKind.CMC:
+            if rqst_flits is None:
+                raise HMCPacketError(
+                    f"{rqst.name}: CMC requests need an explicit rqst_flits "
+                    "(use HMCSim.build_memrequest after loading the CMC op)"
+                )
+            flits = rqst_flits
+        else:
+            flits = info.rqst_flits
+            assert flits is not None
+        if not 1 <= flits <= MAX_PACKET_FLITS:
+            raise HMCPacketError(f"request length {flits} FLITs out of range 1..17")
+        want = (flits - 1) * FLIT_BYTES
+        if info.kind is CommandKind.CMC and len(data) < want:
+            data = data + bytes(want - len(data))
+        if len(data) != want:
+            raise HMCPacketError(
+                f"{rqst.name}: payload is {len(data)} bytes, "
+                f"a {flits}-FLIT request carries exactly {want}"
+            )
+        if not 0 <= tag <= MAX_TAG:
+            raise HMCPacketError(f"tag {tag} outside 11-bit tag space")
+        if not 0 <= cub <= MAX_CUB:
+            raise HMCPacketError(f"cub {cub} outside 3-bit cube space")
+        if addr < 0 or addr > ADDR_MASK:
+            raise HMCPacketError(f"address {addr:#x} outside 34-bit ADRS space")
+        return cls(cmd=int(rqst), tag=tag, addr=addr, cub=cub, data=data)
+
+    # -- wire form ---------------------------------------------------------
+
+    @property
+    def lng(self) -> int:
+        """Packet length in FLITs."""
+        return 1 + len(self.data) // FLIT_BYTES
+
+    @property
+    def rqst(self) -> hmc_rqst_t:
+        """The request enum member for this packet's command code."""
+        return hmc_rqst_t(self.cmd)
+
+    def head(self) -> int:
+        """Encode the 64-bit request header."""
+        w = 0
+        w = field_set(w, 0, 7, self.cmd)
+        w = field_set(w, 7, 5, self.lng)
+        w = field_set(w, 12, 11, self.tag)
+        w = field_set(w, 24, 34, self.addr & ADDR_MASK)
+        w = field_set(w, 61, 3, self.cub)
+        return w
+
+    def tail(self, crc: Optional[int] = None) -> int:
+        """Encode the 64-bit request tail (CRC computed unless given)."""
+        w = 0
+        w = field_set(w, 0, 9, self.rrp)
+        w = field_set(w, 9, 9, self.frp)
+        w = field_set(w, 18, 3, self.seq)
+        w = field_set(w, 21, 1, self.pb)
+        w = field_set(w, 22, 3, self.slid)
+        w = field_set(w, 29, 3, self.rtc)
+        if crc is None:
+            words = [self.head()] + pack_data(self.data) + [w]
+            crc = _crc.packet_crc(words)
+        return field_set(w, 32, 32, crc)
+
+    def encode(self) -> List[int]:
+        """Encode the full packet as ``2*lng`` 64-bit words."""
+        return [self.head()] + pack_data(self.data) + [self.tail()]
+
+    @classmethod
+    def decode(cls, words: Sequence[int], *, check_crc: bool = False) -> "RequestPacket":
+        """Decode a request packet from its 64-bit word representation.
+
+        Raises:
+            HMCPacketError: if the word count disagrees with the LNG
+                field, or (with ``check_crc``) the CRC does not match.
+        """
+        if len(words) < 2:
+            raise HMCPacketError("a packet is at least two words (head + tail)")
+        head, tail = words[0], words[-1]
+        lng = field_get(head, 7, 5)
+        if len(words) != 2 * lng:
+            raise HMCPacketError(
+                f"LNG field says {lng} FLITs ({2 * lng} words) "
+                f"but buffer holds {len(words)} words"
+            )
+        pkt = cls(
+            cmd=field_get(head, 0, 7),
+            tag=field_get(head, 12, 11),
+            addr=field_get(head, 24, 34),
+            cub=field_get(head, 61, 3),
+            data=unpack_data(words[1:-1]),
+            rrp=field_get(tail, 0, 9),
+            frp=field_get(tail, 9, 9),
+            seq=field_get(tail, 18, 3),
+            pb=field_get(tail, 21, 1),
+            slid=field_get(tail, 22, 3),
+            rtc=field_get(tail, 29, 3),
+        )
+        if check_crc:
+            want = _crc.packet_crc(list(words))
+            got = field_get(tail, 32, 32)
+            if want != got:
+                raise HMCPacketError(
+                    f"request CRC mismatch: packet carries {got:#010x}, "
+                    f"computed {want:#010x}"
+                )
+        return pkt
+
+
+@dataclass
+class ResponsePacket:
+    """A decoded HMC response packet."""
+
+    cmd: int
+    tag: int
+    cub: int = 0
+    slid: int = 0
+    data: bytes = b""
+    rrp: int = 0
+    frp: int = 0
+    seq: int = 0
+    dinv: int = 0
+    errstat: int = 0
+    rtc: int = 0
+    #: Cycle at which the device retired the response (simulator metadata,
+    #: not part of the wire format; -1 until retired).
+    retire_cycle: int = field(default=-1, compare=False)
+    #: Cycle at which the originating request was injected (simulator
+    #: metadata used for latency tracing; -1 when unknown).
+    inject_cycle: int = field(default=-1, compare=False)
+    #: Device/link the originating request entered on (simulator metadata
+    #: used to route responses back through chained topologies).
+    origin_dev: int = field(default=-1, compare=False)
+    origin_link: int = field(default=-1, compare=False)
+
+    @property
+    def lng(self) -> int:
+        """Packet length in FLITs."""
+        return 1 + len(self.data) // FLIT_BYTES
+
+    @property
+    def response(self) -> Optional[hmc_response_t]:
+        """The response enum member, or None for custom CMC codes."""
+        try:
+            return hmc_response_t(self.cmd)
+        except ValueError:
+            return None
+
+    def head(self) -> int:
+        """Encode the 64-bit response header."""
+        w = 0
+        w = field_set(w, 0, 7, self.cmd)
+        w = field_set(w, 7, 5, self.lng)
+        w = field_set(w, 12, 11, self.tag)
+        w = field_set(w, 23, 3, self.slid)
+        w = field_set(w, 61, 3, self.cub)
+        return w
+
+    def tail(self, crc: Optional[int] = None) -> int:
+        """Encode the 64-bit response tail (CRC computed unless given)."""
+        w = 0
+        w = field_set(w, 0, 9, self.rrp)
+        w = field_set(w, 9, 9, self.frp)
+        w = field_set(w, 18, 3, self.seq)
+        w = field_set(w, 21, 1, self.dinv)
+        w = field_set(w, 22, 7, self.errstat)
+        w = field_set(w, 29, 3, self.rtc)
+        if crc is None:
+            words = [self.head()] + pack_data(self.data) + [w]
+            crc = _crc.packet_crc(words)
+        return field_set(w, 32, 32, crc)
+
+    def encode(self) -> List[int]:
+        """Encode the full packet as ``2*lng`` 64-bit words."""
+        return [self.head()] + pack_data(self.data) + [self.tail()]
+
+    @classmethod
+    def decode(
+        cls, words: Sequence[int], *, check_crc: bool = False
+    ) -> "ResponsePacket":
+        """Decode a response packet from its 64-bit word representation.
+
+        Raises:
+            HMCPacketError: on length or (optional) CRC mismatch.
+        """
+        if len(words) < 2:
+            raise HMCPacketError("a packet is at least two words (head + tail)")
+        head, tail = words[0], words[-1]
+        lng = field_get(head, 7, 5)
+        if len(words) != 2 * lng:
+            raise HMCPacketError(
+                f"LNG field says {lng} FLITs ({2 * lng} words) "
+                f"but buffer holds {len(words)} words"
+            )
+        pkt = cls(
+            cmd=field_get(head, 0, 7),
+            tag=field_get(head, 12, 11),
+            cub=field_get(head, 61, 3),
+            slid=field_get(head, 23, 3),
+            data=unpack_data(words[1:-1]),
+            rrp=field_get(tail, 0, 9),
+            frp=field_get(tail, 9, 9),
+            seq=field_get(tail, 18, 3),
+            dinv=field_get(tail, 21, 1),
+            errstat=field_get(tail, 22, 7),
+            rtc=field_get(tail, 29, 3),
+        )
+        if check_crc:
+            want = _crc.packet_crc(list(words))
+            got = field_get(tail, 32, 32)
+            if want != got:
+                raise HMCPacketError(
+                    f"response CRC mismatch: packet carries {got:#010x}, "
+                    f"computed {want:#010x}"
+                )
+        return pkt

@@ -1,0 +1,123 @@
+"""Fixed-depth queues with HMC-Sim stall semantics.
+
+Every queueing structure in the device — vault request queues and the
+logic-layer crossbar request/response queues — is a bounded FIFO.  A
+push into a full queue does not raise: it reports a *stall*, which the
+caller (host or upstream pipeline stage) observes and retries on a
+later cycle.  This is exactly the contract of ``hmcsim_send`` returning
+``HMC_STALL``, and it is the mechanism behind the queue-pressure
+effects in the paper's Figures 5-7.
+
+Each queue counts pushes, pops, and stalls, and tracks a high-water
+mark, feeding both the trace subsystem and the statistics used by the
+ablation benchmark (E9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+__all__ = ["StallQueue"]
+
+T = TypeVar("T")
+
+
+class StallQueue(Generic[T]):
+    """A bounded FIFO that reports stalls instead of raising when full.
+
+    Args:
+        depth: maximum number of in-flight entries (slots).
+        name: label used in traces and statistics.
+    """
+
+    __slots__ = ("depth", "name", "_q", "pushes", "pops", "stalls", "high_water")
+
+    def __init__(self, depth: int, name: str = "queue"):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self.name = name
+        self._q: Deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.stalls = 0
+        self.high_water = 0
+
+    def push(self, item: T) -> bool:
+        """Append ``item``; return False (and count a stall) if full."""
+        if len(self._q) >= self.depth:
+            self.stalls += 1
+            return False
+        self._q.append(item)
+        self.pushes += 1
+        if len(self._q) > self.high_water:
+            self.high_water = len(self._q)
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Remove and return the head entry, or None if empty."""
+        if not self._q:
+            return None
+        self.pops += 1
+        return self._q.popleft()
+
+    def peek(self) -> Optional[T]:
+        """Return the head entry without removing it, or None if empty."""
+        return self._q[0] if self._q else None
+
+    def remove(self, item: T) -> None:
+        """Remove a specific entry (the vault's out-of-order completion
+        path under the timing model: a request finishing behind a
+        busy-bank entry leaves the queue from the middle).
+
+        Raises:
+            ValueError: if the entry is not queued.
+        """
+        self._q.remove(item)
+        self.pops += 1
+
+    def requeue_head(self, item: T) -> None:
+        """Put an entry back at the head (used when a pop must be undone,
+        e.g. the downstream queue stalled after the entry was taken)."""
+        self._q.appendleft(item)
+        self.pops -= 1
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._q)
+
+    @property
+    def full(self) -> bool:
+        """True when a push would stall."""
+        return len(self._q) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """True when a pop would return None."""
+        return not self._q
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of queued entries."""
+        return len(self._q)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._q.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the push/pop/stall counters and high-water mark."""
+        self.pushes = self.pops = self.stalls = 0
+        self.high_water = len(self._q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StallQueue({self.name!r}, {len(self._q)}/{self.depth}, "
+            f"stalls={self.stalls})"
+        )

@@ -1,0 +1,334 @@
+"""Top-level simulation context: the ``hmc_sim_t`` analog.
+
+:class:`HMCSim` owns everything a simulation needs — configuration,
+backing memory, address map, devices, the CMC registry, tracing, and
+the optional timing/power extensions — and exposes the object-oriented
+equivalent of the HMC-Sim user API:
+
+===========================  =====================================
+HMC-Sim C function            HMCSim method
+===========================  =====================================
+``hmcsim_init``               constructor
+``hmcsim_load_cmc``           :meth:`load_cmc`
+``hmcsim_build_memrequest``   :meth:`build_memrequest`
+``hmcsim_send``               :meth:`send`
+``hmcsim_recv``               :meth:`recv`
+``hmcsim_clock``              :meth:`clock`
+``hmcsim_trace_handle``       :meth:`trace_handle`
+``hmcsim_trace_level``        :meth:`trace_level`
+``hmcsim_jtag_reg_read``      :meth:`jtag_reg_read`
+``hmcsim_jtag_reg_write``     :meth:`jtag_reg_write`
+``hmcsim_free``               :meth:`free`
+===========================  =====================================
+
+A thin functional facade with the original C names lives in
+:mod:`repro.compat`.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, Optional, Set, Tuple, Union
+
+from repro.core.cmc import CMCOperation, CMCRegistry
+from repro.core.loader import load_cmc as _load_cmc_plugin
+from repro.errors import HMCPacketError, HMCSimError, HMCStatus, TagError
+from repro.hmc.addrmap import AddressMap
+from repro.hmc.commands import CommandKind, command_info, hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import Device
+from repro.hmc.flow import LinkFlowModel
+from repro.hmc.memory import MemoryBackend
+from repro.hmc.packet import RequestPacket, ResponsePacket
+from repro.hmc.power import HMCPowerModel, PowerReport
+from repro.hmc.timing import HMCTimingModel
+from repro.hmc.topology import Topology
+from repro.hmc.trace import TraceLevel, Tracer
+
+__all__ = ["HMCSim"]
+
+
+class HMCSim:
+    """One simulation context holding one or more HMC devices.
+
+    Args:
+        config: a validated :class:`HMCConfig`; alternatively pass the
+            config fields as keyword arguments.
+        timing: optional DRAM timing model (future-work extension).
+        power: optional power model (future-work extension).
+        flow: optional link-layer flow-control/retry model.
+        strict_tags: when True (default), reject a send whose tag is
+            already outstanding on the same device — catching the host
+            bug the 11-bit TAG field cannot express.
+        topology_kind: multi-cube wiring, "chain" (default) or "ring".
+        **kwargs: forwarded to :class:`HMCConfig` when ``config`` is
+            not given.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HMCConfig] = None,
+        *,
+        timing: Optional[HMCTimingModel] = None,
+        power: Optional[HMCPowerModel] = None,
+        flow: Optional[LinkFlowModel] = None,
+        strict_tags: bool = True,
+        topology_kind: str = "chain",
+        **kwargs: object,
+    ):
+        if config is None:
+            config = HMCConfig(**kwargs)  # type: ignore[arg-type]
+        elif kwargs:
+            raise HMCSimError("pass either a config object or field overrides, not both")
+        self.config = config
+        self.timing = timing
+        self.power = power
+        self.flow = flow
+        self.power_report = PowerReport()
+        self.backend = MemoryBackend(config.total_bytes)
+        self.addrmap = AddressMap(config)
+        self.tracer = Tracer()
+        self.cmc = CMCRegistry()
+        self.devices = [Device(d, config, self) for d in range(config.num_devs)]
+        self.topology = Topology(self, kind=topology_kind)
+        self._cycle = 0
+        self._strict_tags = strict_tags
+        self._outstanding: Set[Tuple[int, int]] = set()
+        self._initialized = True
+        # Aggregate counters.
+        self.sent_rqsts = 0
+        self.send_stalls = 0
+        self.recvd_rsps = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Current device cycle (number of completed :meth:`clock` calls)."""
+        return self._cycle
+
+    def free(self) -> None:
+        """Release the context (``hmcsim_free``): further use is an error."""
+        self._initialized = False
+        self.backend.clear()
+        self._outstanding.clear()
+
+    def _check_init(self) -> None:
+        if not self._initialized:
+            raise HMCSimError("simulation context has been freed")
+
+    # -- CMC registration (hmc_load_cmc) ----------------------------------------
+
+    def load_cmc(self, source: Union[str, object]) -> CMCOperation:
+        """Load a CMC plugin and register it in this context.
+
+        The registration process of §IV.C.2: verify the context is
+        initialized, load the library, resolve the three symbols, run
+        ``cmc_register``, and install the operation.
+
+        Raises:
+            HMCSimError: if the context was freed.
+            CMCLoadError: on any load/validation failure (nothing is
+                left partially registered).
+        """
+        self._check_init()
+        op = _load_cmc_plugin(source)
+        self.cmc.register(op)
+        return op
+
+    # -- request construction (hmcsim_build_memrequest) ---------------------------
+
+    def build_memrequest(
+        self,
+        rqst: hmc_rqst_t,
+        addr: int,
+        tag: int,
+        *,
+        cub: int = 0,
+        data: bytes = b"",
+    ) -> RequestPacket:
+        """Build a request packet for any command, including loaded CMC ops.
+
+        For CMC commands the request length comes from the operation's
+        registration, so the op must be loaded first.
+
+        Raises:
+            HMCPacketError: malformed fields or payload size.
+            CMCNotActiveError: a CMC command with no loaded operation.
+        """
+        self._check_init()
+        info = command_info(rqst)
+        rqst_flits: Optional[int] = None
+        if info.kind is CommandKind.CMC:
+            rqst_flits = self.cmc.get(int(rqst)).registration.rqst_len
+        return RequestPacket.build(
+            rqst, addr, tag, cub=cub, data=data, rqst_flits=rqst_flits
+        )
+
+    # -- host traffic (hmcsim_send / hmcsim_recv) -----------------------------------
+
+    def _expects_response(self, pkt: RequestPacket) -> bool:
+        info = command_info(hmc_rqst_t(pkt.cmd))
+        if info.kind is CommandKind.FLOW:
+            return False
+        if info.kind is CommandKind.CMC:
+            op = self.cmc.lookup(pkt.cmd)
+            # Unregistered CMC commands yield an RSP_ERROR response.
+            return True if op is None else not op.registration.posted
+        return not info.posted
+
+    def send(self, pkt: RequestPacket, *, dev: int = 0, link: int = 0) -> HMCStatus:
+        """Inject a request into a device link.
+
+        Returns:
+            ``HMCStatus.OK`` on acceptance or ``HMCStatus.STALL`` when
+            the link's crossbar queue is full (retry next cycle) —
+            the exact contract of ``hmcsim_send``.
+
+        Raises:
+            TagError: (strict mode) the tag is already outstanding on
+                this device and the request expects a response.
+        """
+        self._check_init()
+        if not 0 <= dev < self.config.num_devs:
+            raise HMCSimError(f"no device {dev} in this context")
+        expects = self._expects_response(pkt)
+        key = (pkt.cub, pkt.tag)
+        if self._strict_tags and expects and key in self._outstanding:
+            raise TagError(
+                f"tag {pkt.tag} is already outstanding on cube {pkt.cub}"
+            )
+        ok = self.devices[dev].send(link, pkt, self._cycle)
+        if ok:
+            self.sent_rqsts += 1
+            if expects:
+                self._outstanding.add(key)
+            return HMCStatus.OK
+        self.send_stalls += 1
+        return HMCStatus.STALL
+
+    def recv(self, *, dev: int = 0, link: int = 0) -> Optional[ResponsePacket]:
+        """Collect the oldest retired response on a device link, or None."""
+        self._check_init()
+        rsp = self.devices[dev].recv(link)
+        if rsp is not None:
+            self.recvd_rsps += 1
+            self._outstanding.discard((rsp.cub, rsp.tag))
+            if self.config.check_crc:
+                ResponsePacket.decode(rsp.encode(), check_crc=True)
+        return rsp
+
+    # -- time (hmcsim_clock) -----------------------------------------------------
+
+    def clock(self, cycles: int = 1) -> int:
+        """Advance the whole context by ``cycles`` device cycles."""
+        self._check_init()
+        for _ in range(cycles):
+            for device in self.devices:
+                device.clock(self._cycle)
+            if self.config.num_devs > 1:
+                self.topology.clock(self._cycle)
+            self._cycle += 1
+        return self._cycle
+
+    def drain(self, *, max_cycles: int = 100_000) -> int:
+        """Clock until no request or response remains in flight.
+
+        Returns the number of cycles consumed.
+
+        Raises:
+            HMCSimError: if the context does not drain within
+                ``max_cycles`` (a livelock would otherwise spin forever).
+        """
+        start = self._cycle
+        for _ in range(max_cycles):
+            if self.idle():
+                return self._cycle - start
+            self.clock()
+        raise HMCSimError(f"context did not drain within {max_cycles} cycles")
+
+    def idle(self) -> bool:
+        """True when no packet is queued anywhere in the context."""
+        if self.topology.in_transit:
+            return False
+        if self.flow is not None:
+            for st in self.flow._links.values():
+                if st.replay_queue:
+                    return False
+        for device in self.devices:
+            if device.xbar.occupancy():
+                return False
+            for vault in device.vaults:
+                if vault.rqst_queue or vault._pending_rsp is not None:
+                    return False
+        return True
+
+    # -- tracing (hmcsim_trace_*) ---------------------------------------------------
+
+    def trace_handle(self, handle: Optional[IO[str]]) -> None:
+        """Attach a trace output stream (``hmcsim_trace_handle``)."""
+        self.tracer.set_handle(handle)
+
+    def trace_level(self, level: TraceLevel) -> None:
+        """Set the trace category bitmask (``hmcsim_trace_level``)."""
+        self.tracer.set_level(level)
+
+    # -- JTAG (hmcsim_jtag_reg_read / write) -------------------------------------------
+
+    def jtag_reg_read(self, dev: int, reg: int) -> int:
+        """Read a device register through the simulated JTAG port."""
+        self._check_init()
+        return self.devices[dev].registers.read(reg)
+
+    def jtag_reg_write(self, dev: int, reg: int, value: int) -> None:
+        """Write a device register through the simulated JTAG port."""
+        self._check_init()
+        self.devices[dev].registers.write(reg, value)
+
+    # -- direct memory access (host-side setup/verification) ------------------------
+
+    def mem_read(self, addr: int, nbytes: int, *, dev: int = 0) -> bytes:
+        """Read device-local memory directly (no packets, no cycles).
+
+        Used for simulation setup/verification and by CMC plugins,
+        which receive this context as their ``hmc`` argument.
+        """
+        self._check_init()
+        return self.devices[dev].mem_read(addr, nbytes)
+
+    def mem_write(self, addr: int, data: bytes, *, dev: int = 0) -> None:
+        """Write device-local memory directly (no packets, no cycles)."""
+        self._check_init()
+        self.devices[dev].mem_write(addr, data)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate context statistics (queues, counters, CMC, power)."""
+        per_dev = {}
+        for device in self.devices:
+            per_dev[f"dev{device.dev}"] = {
+                "queues": device.queue_stats(),
+                "cmc_rejects": device.cmc_rejects,
+                "cmc_failures": device.cmc_failures,
+                "flow_packets": device.flow_packets,
+                "forwarded_rqsts": device.forwarded_rqsts,
+                "retired_rsps": device.retired_rsps,
+            }
+        return {
+            "cycle": self._cycle,
+            "sent_rqsts": self.sent_rqsts,
+            "send_stalls": self.send_stalls,
+            "recvd_rsps": self.recvd_rsps,
+            "outstanding": len(self._outstanding),
+            "cmc_ops": {
+                op.op_name: op.executions for op in self.cmc.operations()
+            },
+            "energy_pj": self.power_report.total_pj if self.power else 0.0,
+            "devices": per_dev,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HMCSim({self.config.describe()}, devs={self.config.num_devs}, "
+            f"cycle={self._cycle}, cmc_ops={len(self.cmc)})"
+        )

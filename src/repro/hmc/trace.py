@@ -1,0 +1,181 @@
+"""Levelled trace subsystem.
+
+HMC-Sim exposes ``hmcsim_trace_handle`` / ``hmcsim_trace_level`` so a
+simulation can stream discrete events (stalls, bank conflicts, packet
+latency, request/response flow) to a file.  The paper's *Discrete
+Tracing* requirement (§IV.A) additionally demands that user-defined CMC
+operations appear in traces under their human-readable name — resolved
+at runtime through the plugin's ``cmc_str`` symbol — rather than as an
+opaque command code.  The vault pipeline therefore passes the resolved
+operation name into :meth:`Tracer.trace_rqst`.
+
+Trace levels are a bitmask mirroring HMC-Sim's ``HMC_TRACE_*`` macros.
+Events are rendered one-per-line in a stable ``key=value`` format that
+is trivially machine-parsable; tests assert on it.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from typing import IO, Dict, List, Optional
+
+__all__ = ["TraceLevel", "TraceEvent", "Tracer"]
+
+
+class TraceLevel(enum.IntFlag):
+    """Bitmask of event categories (mirrors ``HMC_TRACE_*``)."""
+
+    NONE = 0
+    BANK = 1 << 0  # bank conflicts
+    QUEUE = 1 << 1  # queue push/pop
+    CMD = 1 << 2  # request/response command flow
+    STALL = 1 << 3  # stall events
+    LATENCY = 1 << 4  # per-request retire latency
+    POWER = 1 << 5  # power/energy events (future-work extension)
+    ALL = BANK | QUEUE | CMD | STALL | LATENCY | POWER
+
+
+class TraceEvent:
+    """One trace record: a category, a cycle stamp, and ordered fields."""
+
+    __slots__ = ("level", "cycle", "fields")
+
+    def __init__(self, level: TraceLevel, cycle: int, **fields: object):
+        self.level = level
+        self.cycle = cycle
+        self.fields = fields
+
+    def render(self) -> str:
+        """Render as a single ``key=value`` line."""
+        parts = [f"HMCSIM_TRACE : {self.level.name} : CYCLE={self.cycle}"]
+        parts += [f"{k.upper()}={v}" for k, v in self.fields.items()]
+        return " : ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.render()!r})"
+
+
+class Tracer:
+    """Filters events by level and writes them to an optional handle.
+
+    When no handle is attached, enabled events are still retained in an
+    in-memory ring (bounded by ``max_buffer``) so tests and notebooks
+    can inspect them without touching the filesystem.
+    """
+
+    def __init__(
+        self,
+        level: TraceLevel = TraceLevel.NONE,
+        handle: Optional[IO[str]] = None,
+        max_buffer: int = 100_000,
+    ):
+        self.level = level
+        self.handle = handle
+        self.max_buffer = max_buffer
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self.counts: Dict[str, int] = {}
+
+    # -- configuration (mirrors hmcsim_trace_handle / hmcsim_trace_level) ---
+
+    def set_handle(self, handle: Optional[IO[str]]) -> None:
+        """Attach or detach an output stream."""
+        self.handle = handle
+
+    def set_level(self, level: TraceLevel) -> None:
+        """Replace the enabled-category bitmask."""
+        self.level = TraceLevel(level)
+
+    def enabled(self, level: TraceLevel) -> bool:
+        """True if events of ``level`` are currently recorded."""
+        return bool(self.level & level)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, level: TraceLevel, cycle: int, **fields: object) -> None:
+        """Record an event if its category is enabled."""
+        if not self.level & level:
+            return
+        ev = TraceEvent(level, cycle, **fields)
+        self.counts[level.name] = self.counts.get(level.name, 0) + 1
+        if self.handle is not None:
+            self.handle.write(ev.render() + "\n")
+        if len(self.events) < self.max_buffer:
+            self.events.append(ev)
+        else:
+            self.dropped += 1
+
+    # -- convenience wrappers used by the pipeline ----------------------------
+
+    def trace_stall(self, cycle: int, *, where: str, dev: int, src: int) -> None:
+        """A push into a full queue."""
+        self.emit(TraceLevel.STALL, cycle, where=where, dev=dev, src=src)
+
+    def trace_bank_conflict(
+        self, cycle: int, *, dev: int, quad: int, vault: int, bank: int, addr: int
+    ) -> None:
+        """A request blocked behind a busy bank."""
+        self.emit(
+            TraceLevel.BANK,
+            cycle,
+            dev=dev,
+            quad=quad,
+            vault=vault,
+            bank=bank,
+            addr=f"{addr:#x}",
+        )
+
+    def trace_rqst(
+        self,
+        cycle: int,
+        *,
+        op: str,
+        dev: int,
+        quad: int,
+        vault: int,
+        bank: int,
+        addr: int,
+        length: int,
+    ) -> None:
+        """A request executed by a vault.  ``op`` is the command name;
+        for CMC commands it is the plugin's ``cmc_str`` value, which is
+        what makes custom operations legible in traces (§IV.A)."""
+        self.emit(
+            TraceLevel.CMD,
+            cycle,
+            rqst=op,
+            dev=dev,
+            quad=quad,
+            vault=vault,
+            bank=bank,
+            addr=f"{addr:#x}",
+            length=length,
+        )
+
+    def trace_rsp(self, cycle: int, *, op: str, dev: int, link: int, tag: int) -> None:
+        """A response retired to a link."""
+        self.emit(TraceLevel.CMD, cycle, rsp=op, dev=dev, link=link, tag=tag)
+
+    def trace_latency(self, cycle: int, *, tag: int, cycles: int) -> None:
+        """End-to-end latency of one retired request."""
+        self.emit(TraceLevel.LATENCY, cycle, tag=tag, cycles=cycles)
+
+    def trace_power(self, cycle: int, *, op: str, energy_pj: float) -> None:
+        """Energy attributed to one operation (future-work extension)."""
+        self.emit(TraceLevel.POWER, cycle, op=op, energy_pj=round(energy_pj, 3))
+
+    # -- inspection ------------------------------------------------------------
+
+    def render_all(self) -> str:
+        """Render every buffered event as one string."""
+        out = io.StringIO()
+        for ev in self.events:
+            out.write(ev.render() + "\n")
+        return out.getvalue()
+
+    def clear(self) -> None:
+        """Drop buffered events and counters."""
+        self.events.clear()
+        self.counts.clear()
+        self.dropped = 0

@@ -1,0 +1,307 @@
+"""Vault controller: request queues, banks, and request execution.
+
+This module is the reconstruction of ``hmcsim_process_rqst`` — the
+"packet processing step" of §IV.C.2 where most of HMC-Sim's work
+happens.  Each vault owns a bounded request queue (depth 64 in the
+paper's evaluation) and its banks.  One request issues per vault per
+cycle from the queue head; a busy target bank blocks the head (a *bank
+conflict*), and a full response path re-queues it — both produce trace
+events and the queueing pressure behind the paper's Figures 5-7.
+
+Execution dispatch order, mirroring the paper's Figure 3:
+
+1. CMC command codes are checked against the registry's *active* table;
+   inactive codes produce an ``RSP_ERROR`` response (the C code returns
+   an error from ``hmcsim_process_rqst``).
+2. Active CMC commands execute through the plugin's resolved
+   ``cmc_execute`` function; on success a trace entry is inserted using
+   the plugin's ``cmc_str`` name and normal response construction
+   resumes.
+3. Specification commands take the built-in paths: read, write, mode
+   register access, or the Gen2 atomic unit (:mod:`repro.hmc.amo`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import (
+    CMCExecutionError,
+    CMCNotActiveError,
+    HMCAddressError,
+    HMCSimError,
+)
+from repro.hmc.amo import execute_amo, is_amo
+from repro.hmc.bank import Bank
+from repro.hmc.commands import CommandKind, command_for_code, hmc_response_t
+from repro.hmc.packet import RequestPacket, ResponsePacket, pack_data
+from repro.hmc.queue import StallQueue
+from repro.hmc.xbar import Flight
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hmc.device import Device
+
+__all__ = [
+    "Vault",
+    "process_rqst",
+    "ERRSTAT_GENERIC",
+    "ERRSTAT_ADDRESS",
+    "ERRSTAT_CMC_INACTIVE",
+    "ERRSTAT_CMC_FAILED",
+]
+
+#: ERRSTAT codes carried by RSP_ERROR responses.
+ERRSTAT_GENERIC = 0x01
+ERRSTAT_ADDRESS = 0x03
+ERRSTAT_CMC_INACTIVE = 0x04
+ERRSTAT_CMC_FAILED = 0x05
+
+
+class Vault:
+    """One vault: request queue + banks + issue logic."""
+
+    def __init__(self, index: int, quad: int, depth: int, num_banks: int, dev: int):
+        self.index = index
+        self.quad = quad
+        self.dev = dev
+        self.rqst_queue: StallQueue = StallQueue(
+            depth, f"dev{dev}.vault{index}.rqst"
+        )
+        self.banks: List[Bank] = [Bank(b) for b in range(num_banks)]
+        self.processed = 0
+        self.bank_conflicts = 0
+        self.response_stalls = 0
+
+    def push(self, flight: Flight) -> bool:
+        """Enqueue a routed request; False on stall (queue full)."""
+        return self.rqst_queue.push(flight)
+
+    def step(self, device: "Device", cycle: int) -> None:
+        """Process the request queue for this cycle.
+
+        HMC-Sim walks the *entire* vault queue each clock: the queue
+        models in-flight capacity, not issue serialization.  Entries
+        are visited in FIFO order; an entry whose bank is busy records
+        a *bank conflict* and is skipped (later entries to other banks
+        still proceed — per-bank ordering is preserved, the vault is
+        not head-of-line blocked).  Under the baseline model a bank
+        access completes within the cycle, so everything queued
+        executes in order each clock — which is what lets a queued
+        ``hmc_trylock`` acquire a lock in the same cycle the preceding
+        ``hmc_unlock`` released it, the fast handoff behind the
+        paper's ~4-cycles-per-thread scaling.  Under the timing
+        extension a request holds its bank for the DRAM service time
+        and its response is produced when service completes.
+
+        The scan stops when the vault's per-cycle response budget is
+        exhausted or the response path fills.
+        """
+        rsp_budget = device.config.vault_rsp_rate
+        if self.rqst_queue.empty:
+            return
+        for flight in list(self.rqst_queue):
+            if rsp_budget <= 0:
+                # The vault's response port is exhausted for this
+                # cycle; remaining requests wait in the queue.
+                return
+            bank = self.banks[flight.bank]
+            if flight.service_until < 0:
+                if not bank.available(cycle):
+                    bank.record_conflict()
+                    self.bank_conflicts += 1
+                    device.tracer.trace_bank_conflict(
+                        cycle,
+                        dev=self.dev,
+                        quad=self.quad,
+                        vault=self.index,
+                        bank=flight.bank,
+                        addr=flight.pkt.addr,
+                    )
+                    continue
+                busy = _occupy(device, bank, cycle, flight)
+                if busy > 0:
+                    # Timing model: the request holds the bank and its
+                    # response is produced when service completes.
+                    flight.service_until = cycle + busy
+                    continue
+            elif cycle < flight.service_until:
+                continue  # DRAM access still in progress
+
+            rsp = process_rqst(device, flight, cycle)
+
+            if rsp is not None:
+                if not device.xbar.push_response(flight.src_link, rsp):
+                    # Response path full.  The memory side effect has
+                    # already happened, so hold the *response* (not the
+                    # request) and block the vault until it is accepted.
+                    self.response_stalls += 1
+                    device.tracer.trace_stall(
+                        cycle,
+                        where=f"vault{self.index}.rsp",
+                        dev=self.dev,
+                        src=flight.src_link,
+                    )
+                    self._pending_rsp = (flight, rsp)
+                    self.rqst_queue.remove(flight)
+                    return
+                rsp_budget -= 1
+            self.rqst_queue.remove(flight)
+            self.processed += 1
+
+    # A response that could not enter the crossbar queue waits here and
+    # blocks the vault until it is accepted (head-of-line blocking).
+    _pending_rsp: Optional[tuple] = None
+
+    def flush_pending(self, device: "Device", cycle: int) -> bool:
+        """Retry a blocked response push.  Returns True when unblocked."""
+        if self._pending_rsp is None:
+            return True
+        flight, rsp = self._pending_rsp
+        if device.xbar.push_response(flight.src_link, rsp):
+            self._pending_rsp = None
+            self.processed += 1
+            return True
+        self.response_stalls += 1
+        return False
+
+
+def _error_response(
+    device: "Device", flight: Flight, errstat: int
+) -> ResponsePacket:
+    """Build an RSP_ERROR response for a failed request."""
+    return ResponsePacket(
+        cmd=int(hmc_response_t.RSP_ERROR),
+        tag=flight.pkt.tag,
+        cub=device.dev,
+        slid=flight.src_link,
+        errstat=errstat,
+        inject_cycle=flight.inject_cycle,
+        origin_dev=flight.origin_dev,
+        origin_link=flight.src_link,
+    )
+
+
+def process_rqst(
+    device: "Device", flight: Flight, cycle: int
+) -> Optional[ResponsePacket]:
+    """Execute one request against the device — ``hmcsim_process_rqst``.
+
+    Returns the response packet, or None for posted commands.
+    Execution errors never raise out of the pipeline: they become
+    ``RSP_ERROR`` responses (or, for *posted* requests, are counted
+    and dropped) so a misbehaving request cannot wedge the simulation.
+    """
+    pkt: RequestPacket = flight.pkt
+    info = command_for_code(pkt.cmd)
+    vault = device.vaults[flight.vault]
+    bank = vault.banks[flight.bank]
+    op_name = info.rqst.name
+    mem = device  # device provides mem_read/mem_write with bounds checks
+
+    rsp_cmd: int = int(info.rsp_cmd) if info.rsp_cmd is not hmc_response_t.RSP_NONE else 0
+    rsp_data = b""
+    errstat = 0
+    posted = info.posted
+
+    try:
+        if info.kind is CommandKind.FLOW:
+            # Flow packets are link-layer; they carry no memory semantics.
+            return None
+
+        if info.kind is CommandKind.CMC:
+            op, rsp_data, rsp_cmd = device.cmc.execute(
+                device.sim,
+                dev=device.dev,
+                quad=flight.quad,
+                vault=flight.vault,
+                bank=flight.bank,
+                addr=pkt.addr,
+                length=pkt.lng,
+                head=pkt.head(),
+                tail=pkt.tail(),
+                rqst_payload=pack_data(pkt.data),
+            )
+            op_name = op.cmc_str()
+            posted = op.registration.posted
+        elif info.kind is CommandKind.READ:
+            rsp_data = mem.mem_read(pkt.addr, info.rsp_data_bytes or 0)
+        elif info.kind in (CommandKind.WRITE, CommandKind.POSTED_WRITE):
+            mem.mem_write(pkt.addr, pkt.data)
+        elif info.kind is CommandKind.MODE:
+            if info.rqst.name == "MD_RD":
+                value = device.registers.read(pkt.addr)
+                rsp_data = value.to_bytes(8, "little") + bytes(8)
+            else:  # MD_WR
+                device.registers.write(
+                    pkt.addr, int.from_bytes(pkt.data[:8], "little")
+                )
+        elif is_amo(pkt.cmd):
+            result = execute_amo(mem.amo_view(), pkt.addr, pkt.cmd, pkt.data)
+            rsp_data = result.rsp_data
+            errstat = result.errstat
+        else:  # pragma: no cover - command table is exhaustive
+            raise HMCSimError(f"unhandled command {pkt.cmd}")
+    except CMCNotActiveError:
+        device.cmc_rejects += 1
+        return None if posted else _error_response(device, flight, ERRSTAT_CMC_INACTIVE)
+    except CMCExecutionError:
+        device.cmc_failures += 1
+        return None if posted else _error_response(device, flight, ERRSTAT_CMC_FAILED)
+    except HMCAddressError:
+        return None if posted else _error_response(device, flight, ERRSTAT_ADDRESS)
+    except HMCSimError:
+        return None if posted else _error_response(device, flight, ERRSTAT_GENERIC)
+
+    device.tracer.trace_rqst(
+        cycle,
+        op=op_name,
+        dev=device.dev,
+        quad=flight.quad,
+        vault=flight.vault,
+        bank=flight.bank,
+        addr=pkt.addr,
+        length=pkt.lng,
+    )
+    if device.power is not None:
+        rsp_flits = 1 + len(rsp_data) // 16 if not posted else 0
+        pj = device.power.request_energy(info, pkt.lng, rsp_flits)
+        device.power_report.add(op_name, pj)
+        device.tracer.trace_power(cycle, op=op_name, energy_pj=pj)
+
+    if posted:
+        return None
+    return ResponsePacket(
+        cmd=rsp_cmd,
+        tag=pkt.tag,
+        cub=device.dev,
+        slid=flight.src_link,
+        data=rsp_data,
+        errstat=errstat,
+        # A poisoned request (Pb set in the tail) marks its response
+        # data invalid, per the specification's poison semantics.
+        dinv=pkt.pb,
+        inject_cycle=flight.inject_cycle,
+        origin_dev=flight.origin_dev,
+        origin_link=flight.src_link,
+    )
+
+
+def _occupy(device: "Device", bank: Bank, cycle: int, flight: Flight) -> int:
+    """Charge the bank for this access under the active timing model.
+
+    Returns the service time in cycles (0 under the baseline model:
+    a bank access completes within the cycle it is issued, behaviour
+    being queueing-dominated; the timing extension makes banks hold
+    state across cycles, delaying responses and producing conflicts).
+    """
+    from repro.hmc.commands import command_for_code as _cfc
+
+    if device.timing is None:
+        bank.occupy(cycle, 0, -1, True)
+        return 0
+    info = _cfc(flight.pkt.cmd)
+    row = device.row_of(flight.pkt.addr)
+    busy = device.timing.request_cycles(info, bank.open_row, row)
+    row_hit = bank.open_row == row
+    bank.occupy(cycle, busy, row, row_hit)
+    return busy

@@ -1,0 +1,120 @@
+"""Logic-layer crossbar: per-link request/response queues and routing.
+
+The crossbar connects a device's links to its 32 vaults.  Each link
+owns a bounded request queue and a bounded response queue (depth =
+``xbar_depth``, 128 slots in the paper's evaluation).  One packet per
+link per cycle moves in each direction:
+
+* *drain*: the head of a link's request queue routes to its target
+  vault's request queue (stalling in place if the vault queue is
+  full — this back-pressure is what differentiates the 4-link and
+  8-link devices once the paper's hot-spot workload exceeds ~50
+  threads);
+* *retire*: the head of a link's response queue moves to the link's
+  retire buffer where the host can ``recv`` it.
+
+Requests entering on a link that is not attached to the target vault's
+quadrant may be charged extra hop cycles
+(``HMCConfig.nonlocal_hop_cycles``, default 0 to match the paper's
+queueing-dominated model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.packet import RequestPacket, ResponsePacket
+from repro.hmc.queue import StallQueue
+
+__all__ = ["Flight", "XBar"]
+
+
+@dataclass(eq=False)
+class Flight:
+    """A request in flight through one device, with routing metadata.
+
+    Identity-compared (``eq=False``): two flights carrying equal
+    packets are still distinct queue entries.
+    """
+
+    pkt: RequestPacket
+    src_link: int
+    inject_cycle: int
+    vault: int
+    bank: int
+    quad: int
+    #: Remaining extra crossbar hop cycles before the packet may route.
+    hop_delay: int = 0
+    #: Device the request originally entered on (multi-device topologies).
+    origin_dev: int = 0
+    #: Link-layer sequence number (set when a LinkFlowModel is attached).
+    link_seq: int = field(default=-1, compare=False)
+    #: Cycle at which DRAM service completes (timing model only; -1 =
+    #: service not yet started).
+    service_until: int = field(default=-1, compare=False)
+    #: Chain hops consumed reaching this device (multi-device topologies).
+    chain_hops: int = field(default=0, compare=False)
+
+
+class XBar:
+    """The crossbar of one device."""
+
+    def __init__(self, config: HMCConfig, dev: int):
+        self.config = config
+        self.dev = dev
+        self.rqst_queues: List[StallQueue] = [
+            StallQueue(config.xbar_depth, f"dev{dev}.link{l}.xbar_rqst")
+            for l in range(config.num_links)
+        ]
+        self.rsp_queues: List[StallQueue] = [
+            StallQueue(config.xbar_depth, f"dev{dev}.link{l}.xbar_rsp")
+            for l in range(config.num_links)
+        ]
+
+    # -- host side -----------------------------------------------------------
+
+    def inject(self, link: int, flight: Flight) -> bool:
+        """Push a new request into a link's crossbar queue.
+
+        Returns False when the queue is full (the ``HMC_STALL`` case of
+        ``hmcsim_send``).
+        """
+        return self.rqst_queues[link].push(flight)
+
+    # -- device side -----------------------------------------------------------
+
+    def push_response(self, link: int, rsp: ResponsePacket) -> bool:
+        """Queue a completed response toward its source link."""
+        return self.rsp_queues[link].push(rsp)
+
+    def head_request(self, link: int) -> Optional[Flight]:
+        """Peek the head of a link's request queue."""
+        return self.rqst_queues[link].peek()
+
+    def pop_request(self, link: int) -> Optional[Flight]:
+        """Pop the head of a link's request queue."""
+        return self.rqst_queues[link].pop()
+
+    def unpop_request(self, link: int, flight: Flight) -> None:
+        """Undo a pop after a downstream stall (entry keeps its place)."""
+        self.rqst_queues[link].requeue_head(flight)
+
+    def pop_response(self, link: int) -> Optional[ResponsePacket]:
+        """Pop the head of a link's response queue (for retirement)."""
+        return self.rsp_queues[link].pop()
+
+    # -- statistics -----------------------------------------------------------
+
+    def total_stalls(self) -> int:
+        """Stall count across all crossbar queues."""
+        return sum(q.stalls for q in self.rqst_queues) + sum(
+            q.stalls for q in self.rsp_queues
+        )
+
+    def occupancy(self) -> int:
+        """Entries currently queued across all crossbar queues."""
+        return sum(len(q) for q in self.rqst_queues) + sum(
+            len(q) for q in self.rsp_queues
+        )

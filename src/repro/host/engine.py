@@ -1,0 +1,201 @@
+"""The cycle-driven host engine.
+
+Multiplexes any number of simulated threads onto a simulation context:
+each engine cycle (= one device cycle)
+
+1. every READY thread attempts to inject its pending request on its
+   link (a full crossbar queue keeps it READY — the ``HMC_STALL``
+   retry loop of the C harnesses);
+2. the context clocks once;
+3. every link is drained of retired responses, which are routed back
+   to their issuing thread by tag; resumed threads may produce and
+   inject their next request *within the same cycle*, which is what
+   makes the paper's uncontended Algorithm-1 fast path cost exactly
+   6 cycles (3 per round trip, two round trips).
+
+The engine reports per-thread completion cycles and the paper's
+MIN/MAX/AVG statistics (§V.B: MIN_CYCLE, MAX_CYCLE, AVG_CYCLE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import HMCSimError, HMCStatus
+from repro.hmc.sim import HMCSim
+from repro.host.thread import Program, SimThread, ThreadCtx, ThreadState
+
+__all__ = ["HostEngine", "EngineResult", "ThreadResult"]
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Completion record for one simulated thread."""
+
+    tid: int
+    link: int
+    cycles: int
+    requests: int
+    stalls: int
+    responses: int
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run.
+
+    ``min_cycle`` / ``max_cycle`` / ``avg_cycle`` are the §V.B
+    statistics: the minimum, maximum, and average number of cycles any
+    thread required to perform the algorithm.
+    """
+
+    threads: List[ThreadResult] = field(default_factory=list)
+    total_cycles: int = 0
+    send_stalls: int = 0
+
+    @property
+    def min_cycle(self) -> int:
+        """MIN_CYCLE: fastest thread's completion time."""
+        return min(t.cycles for t in self.threads)
+
+    @property
+    def max_cycle(self) -> int:
+        """MAX_CYCLE: slowest thread's completion time."""
+        return max(t.cycles for t in self.threads)
+
+    @property
+    def avg_cycle(self) -> float:
+        """AVG_CYCLE: mean completion time across threads."""
+        return sum(t.cycles for t in self.threads) / len(self.threads)
+
+
+class HostEngine:
+    """Drives a set of thread programs against one simulation context.
+
+    Args:
+        sim: the simulation context.
+        max_cycles: safety bound; exceeding it raises (a deadlocked
+            workload would otherwise spin forever).
+    """
+
+    def __init__(self, sim: HMCSim, *, max_cycles: int = 1_000_000):
+        self.sim = sim
+        self.max_cycles = max_cycles
+        self.threads: List[SimThread] = []
+        self._by_tag: Dict[int, SimThread] = {}
+
+    def add_thread(
+        self,
+        program_fn: Callable[[ThreadCtx], Program],
+        *,
+        link: Optional[int] = None,
+        cub: int = 0,
+    ) -> SimThread:
+        """Create a thread running ``program_fn(ctx)``.
+
+        Threads are assigned round-robin to links unless ``link`` is
+        given — the distribution the paper's simulations use.
+        """
+        tid = len(self.threads)
+        if tid > 0x7FF:
+            raise HMCSimError("the 11-bit tag space bounds the engine at 2048 threads")
+        if link is None:
+            link = tid % self.sim.config.num_links
+        ctx = ThreadCtx(self.sim, tid, link, cub)
+        thread = SimThread(tid, ctx, program_fn(ctx))
+        self.threads.append(thread)
+        self._by_tag[tid] = thread
+        return thread
+
+    def add_threads(
+        self,
+        n: int,
+        program_fn: Callable[[ThreadCtx], Program],
+        *,
+        cub: int = 0,
+    ) -> List[SimThread]:
+        """Add ``n`` identical threads (round-robin links)."""
+        return [self.add_thread(program_fn, cub=cub) for _ in range(n)]
+
+    # -- the engine loop ------------------------------------------------------
+
+    def _try_send(self, thread: SimThread) -> None:
+        """Inject a READY thread's pending packet; resume posted sends."""
+        pkt = thread.pending
+        assert pkt is not None
+        status = self.sim.send(pkt, dev=thread.ctx.cub, link=thread.ctx.link)
+        if status is HMCStatus.STALL:
+            thread.stalls += 1
+            return
+        thread.requests += 1
+        thread.pending = None
+        if self.sim._expects_response(pkt):
+            thread.state = ThreadState.WAITING
+        else:
+            # Posted: the program resumes with None and may produce its
+            # next request, injected on a later cycle.
+            thread.resume(None, self.sim.cycle)
+
+    def run(self) -> EngineResult:
+        """Run until every thread completes; return the statistics.
+
+        Raises:
+            HMCSimError: if the workload does not complete within
+                ``max_cycles`` cycles.
+        """
+        for thread in self.threads:
+            thread.start_cycle = self.sim.cycle
+            thread.start()
+
+        start = self.sim.cycle
+        deadline = start + self.max_cycles
+        while True:
+            live = [t for t in self.threads if not t.done]
+            if not live:
+                break
+            if self.sim.cycle >= deadline:
+                raise HMCSimError(
+                    f"workload did not complete within {self.max_cycles} cycles "
+                    f"({len(live)} threads still running)"
+                )
+            # Phase 1: inject pending requests.
+            for thread in live:
+                if thread.state is ThreadState.READY and thread.pending is not None:
+                    self._try_send(thread)
+            # Phase 2: one device cycle.
+            self.sim.clock()
+            # Phase 3: drain responses, resume threads, same-cycle reissue.
+            for dev in range(self.sim.config.num_devs):
+                for link in range(self.sim.config.num_links):
+                    while True:
+                        rsp = self.sim.recv(dev=dev, link=link)
+                        if rsp is None:
+                            break
+                        thread = self._by_tag.get(rsp.tag)
+                        if thread is None or thread.state is not ThreadState.WAITING:
+                            raise HMCSimError(
+                                f"response tag {rsp.tag} does not match a waiting thread"
+                            )
+                        thread.resume(rsp, self.sim.cycle)
+                        if (
+                            thread.state is ThreadState.READY
+                            and thread.pending is not None
+                        ):
+                            self._try_send(thread)
+
+        result = EngineResult(total_cycles=self.sim.cycle - start)
+        for thread in self.threads:
+            assert thread.finish_cycle is not None
+            result.threads.append(
+                ThreadResult(
+                    tid=thread.tid,
+                    link=thread.ctx.link,
+                    cycles=thread.finish_cycle - thread.start_cycle,
+                    requests=thread.requests,
+                    stalls=thread.stalls,
+                    responses=thread.responses,
+                )
+            )
+            result.send_stalls += thread.stalls
+        return result

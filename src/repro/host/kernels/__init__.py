@@ -1,0 +1,25 @@
+"""Workload kernels.
+
+* :mod:`repro.host.kernels.mutex_kernel` — the paper's Algorithm 1
+  (the §V evaluation workload).
+* :mod:`repro.host.kernels.stream` — STREAM Triad (stride-1, from the
+  HMC-Sim 1.0 evaluation the paper's §II recounts).
+* :mod:`repro.host.kernels.gups` — HPCC RandomAccess / GUPS (random
+  access, same provenance), with an atomic-XOR16 variant.
+* :mod:`repro.host.kernels.bfs` — breadth-first search with HMC CAS
+  offload versus a host-side read-modify-write baseline (the
+  related-work [10] case study).
+* :mod:`repro.host.kernels.histogram` — atomic INC8 histogram versus
+  a cache-line read-modify-write baseline (the Table II comparison as
+  a live workload).
+* :mod:`repro.host.kernels.ticket_kernel` — the FIFO ticket-lock
+  contention workload (fairness counterpart to Algorithm 1).
+* :mod:`repro.host.kernels.pointer_chase` — dependent-load latency
+  measurement, with row-buffer effects under the timing extension.
+* :mod:`repro.host.kernels.barrier` — a sense-reversing barrier
+  composed from CMC operations.
+"""
+
+from repro.host.kernels.mutex_kernel import MutexRunStats, mutex_program, run_mutex_workload
+
+__all__ = ["mutex_program", "run_mutex_workload", "MutexRunStats"]

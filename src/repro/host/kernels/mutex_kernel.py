@@ -1,0 +1,114 @@
+"""The paper's CMC mutex workload — Algorithm 1 (§V.B).
+
+Every thread executes, against a *single shared lock structure*::
+
+    HMC_LOCK(ADDR)
+    if LOCK_SUCCESS then
+        HMC_UNLOCK(ADDR)
+    else
+        HMC_TRYLOCK(ADDR)
+        while LOCK_FAILED do
+            HMC_TRYLOCK(ADDR)
+        end while
+        HMC_UNLOCK(ADDR)
+    end if
+
+``hmc_trylock`` responses carry the thread id of the current lock
+holder; LOCK_FAILED means "the returned owner id is not mine" (§V.A).
+Using one lock address for every thread "will undoubtedly induce a
+memory hot spot once the degree of parallelism reaches a sufficient
+level" — deliberately, since the experiment measures the scalability
+of the HMC queueing structures.
+
+:func:`run_mutex_workload` reproduces one data point of Figures 5-7 /
+Table VI: it builds the configuration, loads the three CMC ops,
+initializes the lock, runs N threads, and reports MIN/MAX/AVG cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cmc_ops.mutex import decode_lock_response, init_lock, load_mutex_ops
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.engine import EngineResult, HostEngine
+from repro.host.thread import Program, ThreadCtx
+
+__all__ = ["mutex_program", "run_mutex_workload", "MutexRunStats", "DEFAULT_LOCK_ADDR"]
+
+#: Lock placement used by the reproduction runs: one 16-byte block,
+#: vault 0 / bank 0 (any single address reproduces the hot spot).
+DEFAULT_LOCK_ADDR = 0x0
+
+
+def mutex_program(ctx: ThreadCtx, lock_addr: int = DEFAULT_LOCK_ADDR) -> Program:
+    """Algorithm 1 as a thread program."""
+    rsp = yield ctx.lock(lock_addr)
+    if decode_lock_response(rsp.data) == 1:
+        yield ctx.unlock(lock_addr)
+        return
+    while True:
+        rsp = yield ctx.trylock(lock_addr)
+        if decode_lock_response(rsp.data) == ctx.tid_value:
+            break
+    yield ctx.unlock(lock_addr)
+
+
+@dataclass(frozen=True)
+class MutexRunStats:
+    """One data point of the paper's sweep."""
+
+    config_name: str
+    threads: int
+    min_cycle: int
+    max_cycle: int
+    avg_cycle: float
+    total_cycles: int
+    send_stalls: int
+    cmc_executions: int
+
+
+def run_mutex_workload(
+    config: HMCConfig,
+    num_threads: int,
+    *,
+    lock_addr: int = DEFAULT_LOCK_ADDR,
+    sim: Optional[HMCSim] = None,
+    max_cycles: int = 1_000_000,
+) -> MutexRunStats:
+    """Run Algorithm 1 with ``num_threads`` threads on ``config``.
+
+    Args:
+        config: device configuration (the paper sweeps 4Link-4GB and
+            8Link-8GB with queue_depth=64, xbar_depth=128, bsize=64).
+        num_threads: the paper varies 2..100.
+        lock_addr: the shared lock structure's address.
+        sim: reuse an existing context (must already have the mutex
+            ops loaded); a fresh one is created when omitted.
+        max_cycles: deadlock guard.
+
+    Returns:
+        The MIN/MAX/AVG cycle statistics of §V.B.
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    if sim is None:
+        sim = HMCSim(config)
+        load_mutex_ops(sim)
+    init_lock(sim, lock_addr)
+    engine = HostEngine(sim, max_cycles=max_cycles)
+    engine.add_threads(num_threads, lambda ctx: mutex_program(ctx, lock_addr))
+    result: EngineResult = engine.run()
+    cmc_execs = sum(op.executions for op in sim.cmc.operations())
+    return MutexRunStats(
+        config_name=config.describe(),
+        threads=num_threads,
+        min_cycle=result.min_cycle,
+        max_cycle=result.max_cycle,
+        avg_cycle=result.avg_cycle,
+        total_cycles=result.total_cycles,
+        send_stalls=result.send_stalls,
+        cmc_executions=cmc_execs,
+    )

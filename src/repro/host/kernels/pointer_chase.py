@@ -1,0 +1,106 @@
+"""Pointer-chase kernel: pure latency measurement.
+
+Streaming kernels hide latency behind parallelism; a pointer chase
+cannot — every load depends on the previous one, so the traversal rate
+*is* the round-trip latency.  The chain is laid out by the host
+(optionally scattered across vaults), then a thread follows ``next``
+pointers with dependent RD16s.  With the baseline model every hop
+costs exactly the 3-cycle round trip; with the DRAM timing extension
+attached the row-buffer behaviour of the layout becomes visible
+(sequential layout enjoys row hits, scattered layout does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.hmc.timing import HMCTimingModel
+from repro.host.engine import HostEngine
+from repro.host.thread import Program, ThreadCtx
+
+__all__ = ["build_chain", "run_pointer_chase", "PointerChaseStats"]
+
+#: Node: [next u64][payload u64] in one 16-byte block.
+NODE_BYTES = 16
+
+_LCG_MUL = 2862933555777941757
+_LCG_ADD = 3037000493
+_M64 = (1 << 64) - 1
+
+
+def build_chain(
+    sim: HMCSim, base: int, length: int, *, scatter: bool = False, seed: int = 7
+) -> int:
+    """Lay out a ``length``-node chain starting at ``base``.
+
+    Sequential layout places node i at ``base + i*16``; scattered
+    layout permutes the node order deterministically so consecutive
+    hops land in different rows/vaults.  Returns the head address.
+    """
+    order = list(range(length))
+    if scatter:
+        state = seed & _M64
+        for i in range(length - 1, 0, -1):
+            state = (state * _LCG_MUL + _LCG_ADD) & _M64
+            j = state % (i + 1)
+            order[i], order[j] = order[j], order[i]
+    addr_of = [base + slot * NODE_BYTES for slot in order]
+    for i in range(length):
+        nxt = addr_of[i + 1] if i + 1 < length else 0
+        sim.mem_write(
+            addr_of[i],
+            nxt.to_bytes(8, "little") + i.to_bytes(8, "little"),
+        )
+    return addr_of[0]
+
+
+def chase_program(ctx: ThreadCtx, head: int, visited: List[int]) -> Program:
+    """Follow ``next`` pointers until the null terminator."""
+    addr = head
+    while addr:
+        rsp = yield ctx.read(addr, 16)
+        visited.append(int.from_bytes(rsp.data[8:16], "little"))
+        addr = int.from_bytes(rsp.data[:8], "little")
+
+
+@dataclass(frozen=True)
+class PointerChaseStats:
+    """One traversal measurement."""
+
+    config_name: str
+    length: int
+    scattered: bool
+    timed: bool
+    cycles: int
+    cycles_per_hop: float
+    order_correct: bool
+
+
+def run_pointer_chase(
+    config: HMCConfig,
+    *,
+    length: int = 64,
+    scatter: bool = False,
+    timing: Optional[HMCTimingModel] = None,
+    base: int = 1 << 20,
+    max_cycles: int = 1_000_000,
+) -> PointerChaseStats:
+    """Build a chain, traverse it, and report cycles per hop."""
+    sim = HMCSim(config, timing=timing)
+    head = build_chain(sim, base, length, scatter=scatter)
+    visited: List[int] = []
+    engine = HostEngine(sim, max_cycles=max_cycles)
+    engine.add_thread(lambda ctx: chase_program(ctx, head, visited))
+    result = engine.run()
+    return PointerChaseStats(
+        config_name=config.describe(),
+        length=length,
+        scattered=scatter,
+        timed=timing is not None,
+        cycles=result.total_cycles,
+        cycles_per_hop=result.total_cycles / length,
+        order_correct=visited == list(range(length)),
+    )

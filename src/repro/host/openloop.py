@@ -1,0 +1,179 @@
+"""Open-loop traffic injection: latency versus offered load.
+
+The closed-loop engines (:mod:`repro.host.engine`,
+:mod:`repro.host.window`) model threads that wait for their own
+responses.  Memory-system characterization also needs the *open-loop*
+view: requests arrive at a fixed offered rate regardless of completion
+— the setup behind every latency-vs-bandwidth "knee" curve, and the
+regime where the HMC-Sim queueing structures (and their stalls)
+actually fill.
+
+:func:`run_open_loop` injects read requests at ``offered_rate``
+requests/cycle for ``duration`` cycles, spreading them round-robin
+over the links, with target addresses from a deterministic pattern
+("uniform" LCG scatter or "stride" streaming).  It reports achieved
+throughput, latency statistics, and stall counts.  The 11-bit tag
+space bounds the in-flight population exactly as it would a real host;
+when no tag is free the injector drops the injection slot and counts
+it (offered > sustainable load shows up as both latency growth and
+injection backlog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import HMCStatus
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+
+__all__ = ["OpenLoopStats", "run_open_loop"]
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_M64 = (1 << 64) - 1
+
+
+def _pattern_addrs(pattern: str, count: int, footprint: int, seed: int) -> List[int]:
+    """Deterministic address stream, 16-byte aligned within ``footprint``."""
+    blocks = footprint // 16
+    addrs: List[int] = []
+    if pattern == "stride":
+        for i in range(count):
+            addrs.append((i % blocks) * 16)
+    elif pattern == "uniform":
+        state = seed & _M64
+        for _ in range(count):
+            state = (state * _LCG_MUL + _LCG_ADD) & _M64
+            addrs.append(((state >> 20) % blocks) * 16)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return addrs
+
+
+@dataclass
+class OpenLoopStats:
+    """Outcome of one open-loop run."""
+
+    config_name: str
+    pattern: str
+    offered_rate: float
+    duration: int
+    injected: int
+    completed: int
+    #: Injection slots lost to full queues or an empty tag pool.
+    backlogged: int
+    drain_cycles: int
+    latencies: List[int] = field(default_factory=list)
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per cycle over the injection window."""
+        return self.completed / self.duration
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean request latency in cycles."""
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def p99_latency(self) -> int:
+        """99th-percentile latency in cycles."""
+        if not self.latencies:
+            return 0
+        xs = sorted(self.latencies)
+        return xs[min(len(xs) - 1, (len(xs) * 99) // 100)]
+
+    @property
+    def saturated(self) -> bool:
+        """True when the device could not absorb the offered load."""
+        return self.backlogged > 0 or self.achieved_rate < self.offered_rate * 0.95
+
+
+def run_open_loop(
+    config: HMCConfig,
+    *,
+    offered_rate: float = 2.0,
+    duration: int = 512,
+    pattern: str = "uniform",
+    footprint: int = 1 << 22,
+    seed: int = 0xFEED,
+    max_drain: int = 100_000,
+) -> OpenLoopStats:
+    """Inject RD16 traffic at a fixed rate and measure latency/throughput.
+
+    Args:
+        config: device configuration.
+        offered_rate: requests per device cycle (fractional rates use a
+            deterministic accumulator).
+        duration: injection window in cycles; the run then drains.
+        pattern: "uniform" scatter or "stride" streaming.
+        footprint: byte range the addresses cover.
+        seed: pattern seed.
+        max_drain: drain-phase safety bound.
+    """
+    sim = HMCSim(config)
+    num_links = config.num_links
+    total_wanted = int(offered_rate * duration) + 1
+    addrs = _pattern_addrs(pattern, total_wanted, footprint, seed)
+
+    free_tags = list(range(0x800))
+    inject_cycle: Dict[int, int] = {}
+    stats = OpenLoopStats(
+        config_name=config.describe(),
+        pattern=pattern,
+        offered_rate=offered_rate,
+        duration=duration,
+        injected=0,
+        completed=0,
+        backlogged=0,
+        drain_cycles=0,
+    )
+
+    credit = 0.0
+    addr_idx = 0
+    link_rr = 0
+
+    def drain_responses() -> None:
+        for link in range(num_links):
+            while True:
+                rsp = sim.recv(link=link)
+                if rsp is None:
+                    return_tag = None
+                    break
+                return_tag = rsp.tag
+                stats.completed += 1
+                stats.latencies.append(sim.cycle - inject_cycle.pop(return_tag))
+                free_tags.append(return_tag)
+
+    for _ in range(duration):
+        credit += offered_rate
+        while credit >= 1.0:
+            credit -= 1.0
+            if not free_tags:
+                stats.backlogged += 1
+                continue
+            tag = free_tags.pop()
+            pkt = sim.build_memrequest(hmc_rqst_t.RD16, addrs[addr_idx], tag)
+            status = sim.send(pkt, link=link_rr)
+            if status is HMCStatus.STALL:
+                free_tags.append(tag)
+                stats.backlogged += 1
+            else:
+                inject_cycle[tag] = sim.cycle
+                stats.injected += 1
+                addr_idx += 1
+            link_rr = (link_rr + 1) % num_links
+        sim.clock()
+        drain_responses()
+
+    # Drain phase: no new injections.
+    drained = 0
+    while inject_cycle and drained < max_drain:
+        sim.clock()
+        drain_responses()
+        drained += 1
+    stats.drain_cycles = drained
+    return stats

@@ -1,0 +1,207 @@
+"""Simulated host threads.
+
+A thread's *program* is a Python generator: it ``yield``s request
+packets and receives the matching response packet back at the yield
+point (or ``None`` for posted requests).  The engine owns the clock;
+the generator only expresses the algorithm, e.g. the paper's
+Algorithm 1::
+
+    def program(ctx):
+        rsp = yield ctx.lock(LOCK_ADDR)
+        if decode_lock_response(rsp.data) == 1:
+            yield ctx.unlock(LOCK_ADDR)
+        else:
+            while True:
+                rsp = yield ctx.trylock(LOCK_ADDR)
+                if decode_lock_response(rsp.data) == ctx.tid_value:
+                    break
+            yield ctx.unlock(LOCK_ADDR)
+
+:class:`ThreadCtx` provides packet builders bound to the thread's
+identity (tag and thread-id payload value), so programs never manage
+tags themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Iterator, Optional
+
+from repro.cmc_ops import mutex as _mutex
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.packet import RequestPacket
+from repro.hmc.sim import HMCSim
+
+__all__ = ["ThreadState", "ThreadCtx", "SimThread", "Program"]
+
+#: A thread program: a generator yielding request packets.
+Program = Generator[RequestPacket, Optional[object], None]
+
+
+class ThreadState(enum.Enum):
+    """Issue state of a simulated thread."""
+
+    READY = "ready"  # has a packet pending injection (or retrying a stall)
+    WAITING = "waiting"  # packet accepted, awaiting its response
+    DONE = "done"  # program finished
+
+
+class ThreadCtx:
+    """Per-thread request builders handed to thread programs.
+
+    Attributes:
+        tid: 0-based thread index.
+        tid_value: the thread/task id written into lock structures and
+            compared against trylock responses.  ``tid + 1`` so that a
+            valid owner id is never 0 (0 means "no owner" in the
+            initialized lock structure).
+        link: device link this thread injects on.
+        cub: target cube for all of this thread's requests.
+    """
+
+    def __init__(self, sim: HMCSim, tid: int, link: int, cub: int = 0):
+        self.sim = sim
+        self.tid = tid
+        self.tid_value = tid + 1
+        self.link = link
+        self.cub = cub
+
+    # -- mutex CMC operations (Table V) --------------------------------------
+
+    def lock(self, addr: int) -> RequestPacket:
+        """Build an ``hmc_lock`` (CMC125) request."""
+        return _mutex.build_lock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+
+    def trylock(self, addr: int) -> RequestPacket:
+        """Build an ``hmc_trylock`` (CMC126) request."""
+        return _mutex.build_trylock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+
+    def unlock(self, addr: int) -> RequestPacket:
+        """Build an ``hmc_unlock`` (CMC127) request."""
+        return _mutex.build_unlock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+
+    # -- generic commands ------------------------------------------------------
+
+    def request(self, rqst: hmc_rqst_t, addr: int, data: bytes = b"") -> RequestPacket:
+        """Build any request with this thread's tag."""
+        return self.sim.build_memrequest(rqst, addr, self.tid, cub=self.cub, data=data)
+
+    def read(self, addr: int, nbytes: int = 16) -> RequestPacket:
+        """Build an RD16..RD256 request for ``nbytes`` (16-byte granule)."""
+        return self.request(_read_cmd(nbytes), addr)
+
+    def write(self, addr: int, data: bytes, posted: bool = False) -> RequestPacket:
+        """Build a WR/P_WR request sized to ``data``."""
+        return self.request(_write_cmd(len(data), posted), addr, data)
+
+    def inc8(self, addr: int, posted: bool = False) -> RequestPacket:
+        """Build an INC8/P_INC8 atomic increment."""
+        return self.request(
+            hmc_rqst_t.P_INC8 if posted else hmc_rqst_t.INC8, addr
+        )
+
+    def xor16(self, addr: int, operand: bytes) -> RequestPacket:
+        """Build a XOR16 atomic."""
+        return self.request(hmc_rqst_t.XOR16, addr, operand)
+
+    def caseq8(self, addr: int, compare: int, swap: int) -> RequestPacket:
+        """Build a CASEQ8 atomic (compare low word, swap high word)."""
+        payload = (compare & _M64).to_bytes(8, "little") + (swap & _M64).to_bytes(
+            8, "little"
+        )
+        return self.request(hmc_rqst_t.CASEQ8, addr, payload)
+
+
+_M64 = (1 << 64) - 1
+
+_READ_CMDS = {
+    16: hmc_rqst_t.RD16,
+    32: hmc_rqst_t.RD32,
+    48: hmc_rqst_t.RD48,
+    64: hmc_rqst_t.RD64,
+    80: hmc_rqst_t.RD80,
+    96: hmc_rqst_t.RD96,
+    112: hmc_rqst_t.RD112,
+    128: hmc_rqst_t.RD128,
+    256: hmc_rqst_t.RD256,
+}
+_WRITE_CMDS = {
+    16: (hmc_rqst_t.WR16, hmc_rqst_t.P_WR16),
+    32: (hmc_rqst_t.WR32, hmc_rqst_t.P_WR32),
+    48: (hmc_rqst_t.WR48, hmc_rqst_t.P_WR48),
+    64: (hmc_rqst_t.WR64, hmc_rqst_t.P_WR64),
+    80: (hmc_rqst_t.WR80, hmc_rqst_t.P_WR80),
+    96: (hmc_rqst_t.WR96, hmc_rqst_t.P_WR96),
+    112: (hmc_rqst_t.WR112, hmc_rqst_t.P_WR112),
+    128: (hmc_rqst_t.WR128, hmc_rqst_t.P_WR128),
+    256: (hmc_rqst_t.WR256, hmc_rqst_t.P_WR256),
+}
+
+
+def _read_cmd(nbytes: int) -> hmc_rqst_t:
+    try:
+        return _READ_CMDS[nbytes]
+    except KeyError:
+        raise ValueError(
+            f"read size {nbytes} is not an HMC granule {sorted(_READ_CMDS)}"
+        ) from None
+
+
+def _write_cmd(nbytes: int, posted: bool) -> hmc_rqst_t:
+    try:
+        pair = _WRITE_CMDS[nbytes]
+    except KeyError:
+        raise ValueError(
+            f"write size {nbytes} is not an HMC granule {sorted(_WRITE_CMDS)}"
+        ) from None
+    return pair[1] if posted else pair[0]
+
+
+class SimThread:
+    """One simulated unit of parallelism and its issue state machine."""
+
+    def __init__(self, tid: int, ctx: ThreadCtx, program: Iterator):
+        self.tid = tid
+        self.ctx = ctx
+        self.program: Program = program
+        self.state = ThreadState.READY
+        self.pending: Optional[RequestPacket] = None
+        self.start_cycle = 0
+        self.finish_cycle: Optional[int] = None
+        # Statistics.
+        self.requests = 0
+        self.stalls = 0
+        self.responses = 0
+
+    def start(self) -> None:
+        """Prime the generator: obtain the first request (or finish)."""
+        try:
+            self.pending = next(self.program)
+            self.state = ThreadState.READY
+        except StopIteration:
+            self.state = ThreadState.DONE
+            self.finish_cycle = self.start_cycle
+
+    def resume(self, rsp: Optional[object], cycle: int) -> None:
+        """Deliver a response (or None for posted) and fetch the next request."""
+        if rsp is not None:
+            self.responses += 1
+        try:
+            self.pending = self.program.send(rsp)
+            self.state = ThreadState.READY
+        except StopIteration:
+            self.pending = None
+            self.state = ThreadState.DONE
+            self.finish_cycle = cycle
+
+    @property
+    def done(self) -> bool:
+        """True once the program has completed."""
+        return self.state is ThreadState.DONE
+
+    @property
+    def elapsed(self) -> Optional[int]:
+        """Cycles from start to completion, or None while running."""
+        if self.finish_cycle is None:
+            return None
+        return self.finish_cycle - self.start_cycle

@@ -1,0 +1,125 @@
+"""Trace parsing/analysis tests."""
+
+import io
+
+import pytest
+
+from repro.analysis.traceview import analyze_trace, parse_trace
+from repro.cmc_ops.mutex import build_lock, init_lock, load_mutex_ops
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.hmc.trace import TraceLevel
+
+SAMPLE = """
+HMCSIM_TRACE : CMD : CYCLE=2 : RQST=RD16 : DEV=0 : QUAD=0 : VAULT=5 : BANK=1 : ADDR=0x40 : LENGTH=1
+HMCSIM_TRACE : CMD : CYCLE=3 : RSP=RD_RS : DEV=0 : LINK=0 : TAG=1
+HMCSIM_TRACE : LATENCY : CYCLE=3 : TAG=1 : CYCLES=2
+HMCSIM_TRACE : STALL : CYCLE=4 : WHERE=vault5.rqst : DEV=0 : SRC=1
+HMCSIM_TRACE : BANK : CYCLE=5 : DEV=0 : QUAD=0 : VAULT=5 : BANK=1 : ADDR=0x40
+HMCSIM_TRACE : POWER : CYCLE=6 : OP=INC8 : ENERGY_PJ=132.5
+garbage line that should be skipped
+HMCSIM_TRACE : CMD : CYCLE=7 : RQST=hmc_lock : DEV=0 : QUAD=0 : VAULT=5 : BANK=1 : ADDR=0x40 : LENGTH=2
+"""
+
+
+class TestParse:
+    def test_event_count_skips_garbage(self):
+        assert len(parse_trace(SAMPLE)) == 7
+
+    def test_levels_and_cycles(self):
+        events = parse_trace(SAMPLE)
+        assert events[0].level == "CMD"
+        assert events[0].cycle == 2
+        assert events[3].level == "STALL"
+
+    def test_field_lookup(self):
+        ev = parse_trace(SAMPLE)[0]
+        assert ev.get("RQST") == "RD16"
+        assert ev.get("VAULT") == "5"
+        assert ev.get("MISSING") is None
+        assert ev.get("MISSING", "x") == "x"
+
+    def test_iterable_input(self):
+        events = parse_trace(SAMPLE.splitlines())
+        assert len(events) == 7
+
+    def test_empty_input(self):
+        assert parse_trace("") == []
+
+
+class TestAnalyze:
+    @pytest.fixture
+    def analysis(self):
+        return analyze_trace(SAMPLE)
+
+    def test_op_counts(self, analysis):
+        assert analysis.op_counts["RD16"] == 1
+        assert analysis.op_counts["hmc_lock"] == 1
+
+    def test_stall_and_conflict_counts(self, analysis):
+        assert analysis.stall_counts["vault5.rqst"] == 1
+        assert analysis.conflict_counts[(5, 1)] == 1
+
+    def test_latencies_and_energy(self, analysis):
+        assert analysis.latencies == [2]
+        assert analysis.energy_pj == pytest.approx(132.5)
+
+    def test_span(self, analysis):
+        assert analysis.first_cycle == 2
+        assert analysis.last_cycle == 7
+        assert analysis.span_cycles == 5
+
+    def test_hottest_vault(self, analysis):
+        assert analysis.hottest_vault() == (5, 2)
+
+    def test_summary_mentions_key_facts(self, analysis):
+        s = analysis.summary()
+        assert "hmc_lock=1" in s
+        assert "hottest vault: 5" in s
+        assert "132.5 pJ" in s
+
+    def test_empty_trace(self):
+        a = analyze_trace("")
+        assert a.events == 0
+        assert a.hottest_vault() is None
+        assert a.latency_stats() == {}
+        assert a.summary()  # still renders
+
+    def test_latency_stats_and_histogram(self):
+        a = analyze_trace(
+            "\n".join(
+                f"HMCSIM_TRACE : LATENCY : CYCLE={i} : TAG=0 : CYCLES={c}"
+                for i, c in enumerate([2, 2, 3, 10, 50])
+            )
+        )
+        stats = a.latency_stats()
+        assert stats["min"] == 2 and stats["max"] == 50
+        hist = a.latency_histogram(bucket=4)
+        assert hist["0-3"] == 3
+        assert hist["48-51"] == 1
+
+
+class TestEndToEnd:
+    def test_live_trace_roundtrip(self):
+        """Trace a real workload, then analyze the emitted text."""
+        sim = HMCSim(HMCConfig.cfg_4link_4gb())
+        load_mutex_ops(sim)
+        buf = io.StringIO()
+        sim.trace_handle(buf)
+        sim.trace_level(TraceLevel.ALL)
+        init_lock(sim, 0x0)
+        sim.send(build_lock(sim, 0x0, 1, tid=1))
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD64, 0x40, 2), link=1)
+        sim.drain()
+        while sim.recv() is not None:
+            pass
+        while sim.recv(link=1) is not None:
+            pass
+
+        a = analyze_trace(buf.getvalue())
+        assert a.op_counts["hmc_lock"] == 1
+        assert a.op_counts["RD64"] == 1
+        assert a.hottest_vault() is not None
+        assert len(a.latencies) == 2
+        assert all(lat == 2 for lat in a.latencies)

@@ -1,0 +1,213 @@
+"""Tests for the demonstration CMC ops beyond the paper's mutex set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmc.commands import hmc_response_t, hmc_rqst_t
+
+_M64 = (1 << 64) - 1
+
+
+def u64(v):
+    return (v & _M64).to_bytes(8, "little")
+
+
+class TestFadd64:
+    @pytest.fixture
+    def fsim(self, sim):
+        sim.load_cmc("repro.cmc_ops.fadd64")
+        return sim
+
+    def test_fetch_add_semantics(self, fsim, do_roundtrip):
+        fsim.mem_write(0x100, u64(10))
+        pkt = fsim.build_memrequest(hmc_rqst_t.CMC04, 0x100, 1, data=u64(5) + bytes(8))
+        rsp = do_roundtrip(fsim, pkt)
+        assert int.from_bytes(rsp.data[:8], "little") == 10  # original
+        assert fsim.mem_read(0x100, 8) == u64(15)
+
+    def test_custom_response_command_on_wire(self, fsim, do_roundtrip):
+        # fadd64 registers RSP_CMC with wire code 0x60.
+        pkt = fsim.build_memrequest(hmc_rqst_t.CMC04, 0x100, 1, data=u64(1) + bytes(8))
+        rsp = do_roundtrip(fsim, pkt)
+        assert rsp.cmd == 0x60
+        assert rsp.response is None  # not a standard response enum
+
+    def test_wraps_at_64_bits(self, fsim, do_roundtrip):
+        fsim.mem_write(0x100, u64(_M64))
+        pkt = fsim.build_memrequest(hmc_rqst_t.CMC04, 0x100, 1, data=u64(2) + bytes(8))
+        do_roundtrip(fsim, pkt)
+        assert fsim.mem_read(0x100, 8) == u64(1)
+
+    def test_ticket_counter_sequence(self, fsim, do_roundtrip):
+        tickets = []
+        for tag in range(5):
+            pkt = fsim.build_memrequest(
+                hmc_rqst_t.CMC04, 0x200, tag, data=u64(1) + bytes(8)
+            )
+            rsp = do_roundtrip(fsim, pkt)
+            tickets.append(int.from_bytes(rsp.data[:8], "little"))
+        assert tickets == [0, 1, 2, 3, 4]
+
+
+class TestPopcount:
+    @pytest.fixture
+    def psim(self, sim):
+        sim.load_cmc("repro.cmc_ops.popcount")
+        return sim
+
+    def test_one_flit_request(self, psim):
+        pkt = psim.build_memrequest(hmc_rqst_t.CMC05, 0x100, 1)
+        assert pkt.lng == 1
+
+    def test_counts_bits(self, psim, do_roundtrip):
+        psim.mem_write(0x100, b"\xff" * 4 + bytes(12))
+        rsp = do_roundtrip(psim, psim.build_memrequest(hmc_rqst_t.CMC05, 0x100, 1))
+        assert int.from_bytes(rsp.data[:8], "little") == 32
+
+    def test_zero_block(self, psim, do_roundtrip):
+        rsp = do_roundtrip(psim, psim.build_memrequest(hmc_rqst_t.CMC05, 0x200, 1))
+        assert int.from_bytes(rsp.data[:8], "little") == 0
+
+    def test_does_not_modify_memory(self, psim, do_roundtrip):
+        psim.mem_write(0x100, b"\xa5" * 16)
+        do_roundtrip(psim, psim.build_memrequest(hmc_rqst_t.CMC05, 0x100, 1))
+        assert psim.mem_read(0x100, 16) == b"\xa5" * 16
+
+    @given(data=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_host_popcount_property(self, data):
+        from repro.hmc.config import HMCConfig
+        from repro.hmc.sim import HMCSim
+        from tests.conftest import roundtrip
+
+        sim = HMCSim(HMCConfig.cfg_4link_4gb())
+        sim.load_cmc("repro.cmc_ops.popcount")
+        sim.mem_write(0x100, data)
+        rsp = roundtrip(sim, sim.build_memrequest(hmc_rqst_t.CMC05, 0x100, 1))
+        want = bin(int.from_bytes(data, "little")).count("1")
+        assert int.from_bytes(rsp.data[:8], "little") == want
+
+
+class TestBloom:
+    @pytest.fixture
+    def bsim(self, sim):
+        sim.load_cmc("repro.cmc_ops.bloom")
+        return sim
+
+    def _insert(self, sim, do_roundtrip, key, tag):
+        pkt = sim.build_memrequest(
+            hmc_rqst_t.CMC06, 0x1000, tag, data=u64(key) + bytes(8)
+        )
+        rsp = do_roundtrip(sim, pkt)
+        return int.from_bytes(rsp.data[:8], "little")
+
+    def test_first_insert_reports_new(self, bsim, do_roundtrip):
+        assert self._insert(bsim, do_roundtrip, 0xDEAD, 1) == 0
+
+    def test_reinsert_reports_present(self, bsim, do_roundtrip):
+        self._insert(bsim, do_roundtrip, 0xDEAD, 1)
+        assert self._insert(bsim, do_roundtrip, 0xDEAD, 2) == 1
+
+    def test_sets_expected_probe_bits(self, bsim, do_roundtrip):
+        from repro.cmc_ops.bloom import probe_bits
+
+        self._insert(bsim, do_roundtrip, 0xBEEF, 1)
+        filt = int.from_bytes(bsim.mem_read(0x1000, 64), "little")
+        for bit in probe_bits(0xBEEF):
+            assert (filt >> bit) & 1
+
+    def test_distinct_keys_mostly_new(self, bsim, do_roundtrip):
+        results = [self._insert(bsim, do_roundtrip, 1000 + k, k) for k in range(20)]
+        # With 512 bits / 4 probes / 20 keys, false positives are rare.
+        assert sum(results) <= 2
+
+    def test_probe_bits_deterministic_and_in_range(self):
+        from repro.cmc_ops.bloom import FILTER_BITS, NUM_PROBES, probe_bits
+
+        bits = probe_bits(12345)
+        assert bits == probe_bits(12345)
+        assert len(bits) == NUM_PROBES
+        assert all(0 <= b < FILTER_BITS for b in bits)
+
+
+class TestAmin64:
+    @pytest.fixture
+    def asim(self, sim):
+        sim.load_cmc("repro.cmc_ops.amin64")
+        return sim
+
+    def _amin(self, sim, do_roundtrip, addr, value, tag):
+        pkt = sim.build_memrequest(hmc_rqst_t.CMC07, addr, tag, data=u64(value) + bytes(8))
+        rsp = do_roundtrip(sim, pkt)
+        return int.from_bytes(rsp.data[:8], "little")
+
+    def test_takes_minimum(self, asim, do_roundtrip):
+        asim.mem_write(0x100, u64(50))
+        orig = self._amin(asim, do_roundtrip, 0x100, 10, 1)
+        assert orig == 50
+        assert asim.mem_read(0x100, 8) == u64(10)
+
+    def test_keeps_smaller_memory(self, asim, do_roundtrip):
+        asim.mem_write(0x100, u64(5))
+        self._amin(asim, do_roundtrip, 0x100, 10, 1)
+        assert asim.mem_read(0x100, 8) == u64(5)
+
+    def test_signed_comparison(self, asim, do_roundtrip):
+        asim.mem_write(0x100, u64(5))
+        self._amin(asim, do_roundtrip, 0x100, -3, 1)  # -3 < 5 signed
+        assert asim.mem_read(0x100, 8) == u64(-3)
+
+    def test_sssp_relaxation_pattern(self, asim, do_roundtrip):
+        # dist[v] = min over candidates — the use case amin64 targets.
+        asim.mem_write(0x100, u64((1 << 62)))  # "infinity"
+        for tag, cand in enumerate([70, 30, 50, 20, 90]):
+            self._amin(asim, do_roundtrip, 0x100, cand, tag)
+        assert asim.mem_read(0x100, 8) == u64(20)
+
+
+class TestMemzero:
+    @pytest.fixture
+    def zsim(self, sim):
+        sim.load_cmc("repro.cmc_ops.memzero")
+        return sim
+
+    def test_posted_no_response(self, zsim):
+        from repro.errors import HMCStatus
+
+        zsim.mem_write(0x1000, b"\xff" * 256)
+        pkt = zsim.build_memrequest(hmc_rqst_t.CMC20, 0x1000, 1)
+        assert pkt.lng == 1
+        assert zsim.send(pkt) is HMCStatus.OK
+        zsim.drain()
+        assert zsim.recv() is None
+        assert zsim.mem_read(0x1000, 256) == bytes(256)
+
+    def test_neighbouring_memory_untouched(self, zsim):
+        zsim.mem_write(0x1000 - 16, b"\xaa" * 16)
+        zsim.mem_write(0x1000 + 256, b"\xbb" * 16)
+        zsim.mem_write(0x1000, b"\xff" * 256)
+        zsim.send(zsim.build_memrequest(hmc_rqst_t.CMC20, 0x1000, 1))
+        zsim.drain()
+        assert zsim.mem_read(0x1000 - 16, 16) == b"\xaa" * 16
+        assert zsim.mem_read(0x1000 + 256, 16) == b"\xbb" * 16
+
+    def test_registration_is_posted(self, zsim):
+        reg = zsim.cmc.get(20).registration
+        assert reg.posted
+        assert reg.rsp_cmd is hmc_response_t.RSP_NONE
+
+
+class TestAllOpsCoexist:
+    def test_load_everything_together(self, sim):
+        # The §IV.A Creative Experimentation requirement: arbitrary
+        # combinations of CMC ops coexist in one context.
+        for mod in [
+            "repro.cmc_ops.lock", "repro.cmc_ops.trylock", "repro.cmc_ops.unlock",
+            "repro.cmc_ops.fadd64", "repro.cmc_ops.popcount", "repro.cmc_ops.bloom",
+            "repro.cmc_ops.amin64", "repro.cmc_ops.memzero",
+        ]:
+            sim.load_cmc(mod)
+        assert len(sim.cmc) == 8
+        names = {op.op_name for op in sim.cmc.operations()}
+        assert "hmc_lock" in names and "hmc_bloom_insert" in names

@@ -1,0 +1,299 @@
+"""Gen2 atomic semantics tests: every Table I operation, plus properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HMCPacketError
+from repro.hmc.amo import ERRSTAT_EQ_FAIL, execute_amo, is_amo, reference_amo
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.memory import MemoryBackend
+
+_M64 = (1 << 64) - 1
+_M128 = (1 << 128) - 1
+
+
+def u64(v):
+    return (v & _M64).to_bytes(8, "little")
+
+
+def u128(v):
+    return (v & _M128).to_bytes(16, "little")
+
+
+@pytest.fixture
+def mem():
+    return MemoryBackend(4096)
+
+
+class TestIsAmo:
+    def test_all_atomics_recognized(self):
+        for name in [
+            "TWOADD8", "ADD16", "P_2ADD8", "P_ADD16", "TWOADDS8R", "ADDS16R",
+            "INC8", "P_INC8", "XOR16", "OR16", "NOR16", "AND16", "NAND16",
+            "CASGT8", "CASGT16", "CASLT8", "CASLT16", "CASEQ8", "CASZERO16",
+            "EQ8", "EQ16", "BWR", "P_BWR", "BWR8R", "SWAP16",
+        ]:
+            assert is_amo(int(hmc_rqst_t[name])), name
+
+    def test_non_atomics_rejected(self):
+        for name in ["RD16", "WR16", "P_WR64", "MD_RD", "PRET", "CMC125"]:
+            assert not is_amo(int(hmc_rqst_t[name])), name
+
+    def test_execute_unknown_command_raises(self, mem):
+        with pytest.raises(HMCPacketError):
+            execute_amo(mem, 0, int(hmc_rqst_t.RD16), b"")
+
+
+class TestAdds:
+    def test_twoadd8_dual_lanes(self, mem):
+        mem.write(0, u64(10) + u64(20))
+        r = execute_amo(mem, 0, int(hmc_rqst_t.TWOADD8), u64(1) + u64(2))
+        assert mem.read(0, 16) == u64(11) + u64(22)
+        assert r.rsp_data == b""
+
+    def test_twoadd8_signed_negative(self, mem):
+        mem.write(0, u64(5) + u64(5))
+        execute_amo(mem, 0, int(hmc_rqst_t.TWOADD8), u64(-7) + u64(-3))
+        assert mem.read_i64(0) == -2
+        assert mem.read_i64(8) == 2
+
+    def test_twoadd8_wraps_independently(self, mem):
+        mem.write(0, u64(_M64) + u64(0))
+        execute_amo(mem, 0, int(hmc_rqst_t.TWOADD8), u64(1) + u64(0))
+        # Lane 0 wraps to zero without carrying into lane 1.
+        assert mem.read(0, 16) == u64(0) + u64(0)
+
+    def test_twoadds8r_returns_original(self, mem):
+        mem.write(0, u64(100) + u64(200))
+        r = execute_amo(mem, 0, int(hmc_rqst_t.TWOADDS8R), u64(1) + u64(1))
+        assert r.rsp_data == u64(100) + u64(200)
+        assert mem.read(0, 16) == u64(101) + u64(201)
+
+    def test_add16_full_width(self, mem):
+        mem.write_u128(0, 1 << 64)  # carries live across the 64-bit boundary
+        execute_amo(mem, 0, int(hmc_rqst_t.ADD16), u128(_M64 + 1))
+        assert mem.read_u128(0) == 2 << 64
+
+    def test_add16_carry_across_lanes(self, mem):
+        mem.write_u128(0, _M64)
+        execute_amo(mem, 0, int(hmc_rqst_t.ADD16), u128(1))
+        assert mem.read_u128(0) == 1 << 64  # unlike TWOADD8, carry propagates
+
+    def test_adds16r_returns_original(self, mem):
+        mem.write_u128(0, 7)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.ADDS16R), u128(3))
+        assert r.rsp_data == u128(7)
+        assert mem.read_u128(0) == 10
+
+    def test_posted_adds_same_memory_effect(self, mem):
+        mem.write(0, u64(1) + u64(1))
+        r = execute_amo(mem, 0, int(hmc_rqst_t.P_2ADD8), u64(1) + u64(1))
+        assert r.rsp_data == b""
+        assert mem.read(0, 16) == u64(2) + u64(2)
+
+    def test_inc8(self, mem):
+        mem.write_u64(64, 41)
+        r = execute_amo(mem, 64, int(hmc_rqst_t.INC8), b"")
+        assert mem.read_u64(64) == 42
+        assert r.rsp_data == b"" and r.errstat == 0
+
+    def test_inc8_wraps(self, mem):
+        mem.write_u64(0, _M64)
+        execute_amo(mem, 0, int(hmc_rqst_t.P_INC8), b"")
+        assert mem.read_u64(0) == 0
+
+    def test_inc8_rejects_payload(self, mem):
+        with pytest.raises(HMCPacketError):
+            execute_amo(mem, 0, int(hmc_rqst_t.INC8), bytes(16))
+
+
+class TestBooleans:
+    CASES = [
+        ("XOR16", lambda m, o: m ^ o),
+        ("OR16", lambda m, o: m | o),
+        ("NOR16", lambda m, o: ~(m | o) & _M128),
+        ("AND16", lambda m, o: m & o),
+        ("NAND16", lambda m, o: ~(m & o) & _M128),
+    ]
+
+    @pytest.mark.parametrize("name,fn", CASES)
+    def test_semantics_and_return(self, mem, name, fn):
+        m, o = 0x0F0F1234CAFE, 0x00FFAA55
+        mem.write_u128(0, m)
+        r = execute_amo(mem, 0, int(hmc_rqst_t[name]), u128(o))
+        assert mem.read_u128(0) == fn(m, o), name
+        assert r.rsp_data == u128(m), f"{name} must return the original"
+
+    @pytest.mark.parametrize("name,fn", CASES)
+    @given(m=st.integers(0, _M128), o=st.integers(0, _M128))
+    @settings(max_examples=25)
+    def test_property(self, name, fn, m, o):
+        after, rsp, err = reference_amo(int(hmc_rqst_t[name]), u128(m), u128(o))
+        assert after == u128(fn(m, o))
+        assert rsp == u128(m)
+        assert err == 0
+
+
+class TestCAS8:
+    def test_caseq8_hit(self, mem):
+        mem.write_u64(0, 5)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.CASEQ8), u64(5) + u64(99))
+        assert mem.read_u64(0) == 99
+        assert r.rsp_data[:8] == u64(5)
+
+    def test_caseq8_miss(self, mem):
+        mem.write_u64(0, 6)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.CASEQ8), u64(5) + u64(99))
+        assert mem.read_u64(0) == 6  # unchanged
+        assert r.rsp_data[:8] == u64(6)
+
+    def test_casgt8_signed(self, mem):
+        mem.write_i64(0, -1)
+        # mem (-1) > compare (-5): swap.
+        execute_amo(mem, 0, int(hmc_rqst_t.CASGT8), u64(-5) + u64(7))
+        assert mem.read_u64(0) == 7
+
+    def test_casgt8_not_greater(self, mem):
+        mem.write_i64(0, -10)
+        execute_amo(mem, 0, int(hmc_rqst_t.CASGT8), u64(-5) + u64(7))
+        assert mem.read_i64(0) == -10
+
+    def test_caslt8(self, mem):
+        mem.write_i64(0, 3)
+        execute_amo(mem, 0, int(hmc_rqst_t.CASLT8), u64(10) + u64(1))
+        assert mem.read_u64(0) == 1
+
+    def test_caslt8_equal_no_swap(self, mem):
+        mem.write_u64(0, 10)
+        execute_amo(mem, 0, int(hmc_rqst_t.CASLT8), u64(10) + u64(1))
+        assert mem.read_u64(0) == 10
+
+    def test_high_half_of_memory_untouched(self, mem):
+        mem.write(0, u64(5) + u64(0xABCD))
+        execute_amo(mem, 0, int(hmc_rqst_t.CASEQ8), u64(5) + u64(99))
+        assert mem.read_u64(8) == 0xABCD
+
+
+class TestCAS16:
+    def test_caszero16_hit(self, mem):
+        r = execute_amo(mem, 0, int(hmc_rqst_t.CASZERO16), u128(123))
+        assert mem.read_u128(0) == 123
+        assert r.rsp_data == u128(0)
+
+    def test_caszero16_miss(self, mem):
+        mem.write_u128(0, 5)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.CASZERO16), u128(123))
+        assert mem.read_u128(0) == 5
+        assert r.rsp_data == u128(5)
+
+    def test_casgt16(self, mem):
+        mem.write_u128(0, 10)
+        execute_amo(mem, 0, int(hmc_rqst_t.CASGT16), u128(5))
+        assert mem.read_u128(0) == 5  # mem(10) > operand(5): swapped in
+
+    def test_casgt16_signed_128(self, mem):
+        mem.write(0, b"\xff" * 16)  # -1 as signed 128
+        execute_amo(mem, 0, int(hmc_rqst_t.CASGT16), u128(3))
+        assert mem.read_u128(0) == _M128  # -1 < 3: no swap
+
+    def test_caslt16(self, mem):
+        mem.write_u128(0, 2)
+        execute_amo(mem, 0, int(hmc_rqst_t.CASLT16), u128(5))
+        assert mem.read_u128(0) == 5
+
+
+class TestEqSwapBwr:
+    def test_eq8_equal(self, mem):
+        mem.write_u64(0, 7)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.EQ8), u64(7) + u64(0))
+        assert r.errstat == 0
+        assert r.rsp_data == b""
+
+    def test_eq8_not_equal(self, mem):
+        mem.write_u64(0, 7)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.EQ8), u64(8) + u64(0))
+        assert r.errstat == ERRSTAT_EQ_FAIL
+
+    def test_eq16(self, mem):
+        mem.write_u128(0, 0xABCDEF)
+        assert execute_amo(mem, 0, int(hmc_rqst_t.EQ16), u128(0xABCDEF)).errstat == 0
+        assert (
+            execute_amo(mem, 0, int(hmc_rqst_t.EQ16), u128(0xABCDEE)).errstat
+            == ERRSTAT_EQ_FAIL
+        )
+
+    def test_eq_does_not_modify_memory(self, mem):
+        mem.write_u128(0, 55)
+        execute_amo(mem, 0, int(hmc_rqst_t.EQ16), u128(55))
+        execute_amo(mem, 0, int(hmc_rqst_t.EQ16), u128(56))
+        assert mem.read_u128(0) == 55
+
+    def test_swap16(self, mem):
+        mem.write_u128(0, 0x1111)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.SWAP16), u128(0x2222))
+        assert mem.read_u128(0) == 0x2222
+        assert r.rsp_data == u128(0x1111)
+
+    def test_bwr_masked_write(self, mem):
+        mem.write_u64(0, 0xFFFFFFFFFFFFFFFF)
+        execute_amo(mem, 0, int(hmc_rqst_t.BWR), u64(0x0000) + u64(0x00FF))
+        assert mem.read_u64(0) == 0xFFFFFFFFFFFFFF00
+
+    def test_bwr_only_masked_bits_change(self, mem):
+        mem.write_u64(0, 0x1234)
+        execute_amo(mem, 0, int(hmc_rqst_t.BWR), u64(0xAB00) + u64(0xFF00))
+        assert mem.read_u64(0) == 0xAB34
+
+    def test_bwr8r_returns_original_padded(self, mem):
+        mem.write_u64(0, 0x42)
+        r = execute_amo(mem, 0, int(hmc_rqst_t.BWR8R), u64(0) + u64(0))
+        assert r.rsp_data == u64(0x42) + bytes(8)
+
+    def test_p_bwr_no_response(self, mem):
+        r = execute_amo(mem, 0, int(hmc_rqst_t.P_BWR), u64(1) + u64(1))
+        assert r.rsp_data == b""
+        assert mem.read_u64(0) == 1
+
+
+class TestValidation:
+    def test_wrong_payload_size(self, mem):
+        with pytest.raises(HMCPacketError):
+            execute_amo(mem, 0, int(hmc_rqst_t.ADD16), bytes(8))
+
+    @given(
+        cmd=st.sampled_from([int(hmc_rqst_t.CASEQ8), int(hmc_rqst_t.CASGT8), int(hmc_rqst_t.CASLT8)]),
+        m=st.integers(0, _M64),
+        compare=st.integers(0, _M64),
+        swap=st.integers(0, _M64),
+    )
+    @settings(max_examples=50)
+    def test_cas8_property(self, cmd, m, compare, swap):
+        """CAS always returns the original; swap happens iff the predicate."""
+        before = u64(m) + bytes(8)
+        after, rsp, _ = reference_amo(cmd, before, u64(compare) + u64(swap))
+        assert rsp[:8] == u64(m)
+        sm = m - (1 << 64) if m >> 63 else m
+        sc = compare - (1 << 64) if compare >> 63 else compare
+        pred = {
+            int(hmc_rqst_t.CASEQ8): sm == sc,
+            int(hmc_rqst_t.CASGT8): sm > sc,
+            int(hmc_rqst_t.CASLT8): sm < sc,
+        }[cmd]
+        assert after[:8] == (u64(swap) if pred else u64(m))
+
+    @given(m=st.integers(0, _M64), a=st.integers(0, _M64), b=st.integers(0, _M64))
+    @settings(max_examples=50)
+    def test_twoadd8_commutes_property(self, m, a, b):
+        """Two TWOADD8s in either order produce the same final value."""
+        before = u64(m) + u64(m)
+        s1, _, _ = reference_amo(int(hmc_rqst_t.TWOADD8), before, u64(a) + u64(a))
+        mem = MemoryBackend(16)
+        mem.write(0, s1)
+        execute_amo(mem, 0, int(hmc_rqst_t.TWOADD8), u64(b) + u64(b))
+        order1 = mem.read(0, 16)
+        s2, _, _ = reference_amo(int(hmc_rqst_t.TWOADD8), before, u64(b) + u64(b))
+        mem2 = MemoryBackend(16)
+        mem2.write(0, s2)
+        execute_amo(mem2, 0, int(hmc_rqst_t.TWOADD8), u64(a) + u64(a))
+        assert order1 == mem2.read(0, 16)

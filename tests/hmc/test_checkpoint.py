@@ -1,0 +1,132 @@
+"""Checkpoint/restore tests."""
+
+import json
+
+import pytest
+
+from repro.errors import HMCSimError
+from repro.hmc.checkpoint import CHECKPOINT_VERSION, restore_checkpoint, save_checkpoint
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.registers import HMC_REG
+from repro.hmc.sim import HMCSim
+from tests.conftest import roundtrip
+
+
+class TestSaveRestore:
+    def test_roundtrip_preserves_memory(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.mem_write(0x1000, b"checkpointed!" + bytes(3))
+        sim.mem_write(1 << 25, b"\xaa" * 64)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert sim2.mem_read(0x1000, 16) == b"checkpointed!" + bytes(3)
+        assert sim2.mem_read(1 << 25, 64) == b"\xaa" * 64
+        assert sim2.mem_read(0x2000, 16) == bytes(16)  # untouched stays zero
+
+    def test_roundtrip_preserves_cycle_and_counters(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert sim2.cycle == sim.cycle
+        assert sim2.sent_rqsts == 1
+        assert sim2.recvd_rsps == 1
+
+    def test_roundtrip_preserves_registers(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.jtag_reg_write(0, HMC_REG["EDR3"], 0x1234)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert sim2.jtag_reg_read(0, HMC_REG["EDR3"]) == 0x1234
+
+    def test_restored_context_keeps_working(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.mem_write(0x40, b"\x07" + bytes(7))
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        rsp = roundtrip(sim2, sim2.build_memrequest(hmc_rqst_t.INC8, 0x40, 1))
+        assert sim2.mem_read(0x40, 8) == b"\x08" + bytes(7)
+
+    def test_cmc_ops_not_serialized(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.load_cmc("repro.cmc_ops.lock")
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert len(sim2.cmc) == 0  # plugins are code: reload explicitly
+        sim2.load_cmc("repro.cmc_ops.lock")
+        assert 125 in sim2.cmc
+
+
+class TestGuards:
+    def test_cannot_checkpoint_in_flight(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        with pytest.raises(HMCSimError, match="in flight"):
+            save_checkpoint(sim, tmp_path / "cp.json")
+
+    def test_cannot_restore_into_busy_context(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        sim2.send(sim2.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        with pytest.raises(HMCSimError, match="in flight"):
+            restore_checkpoint(sim2, p)
+
+    def test_config_mismatch_rejected(self, cfg4, cfg8, tmp_path):
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        other = HMCSim(cfg8)
+        with pytest.raises(HMCSimError, match="does not match"):
+            restore_checkpoint(other, p)
+
+    def test_version_mismatch_rejected(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())
+        doc["version"] = CHECKPOINT_VERSION + 1
+        p.write_text(json.dumps(doc))
+        with pytest.raises(HMCSimError, match="version"):
+            restore_checkpoint(HMCSim(cfg4), p)
+
+    def test_checkpoint_is_json(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.mem_write(0, b"x")
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())  # must parse as plain JSON
+        assert doc["version"] == CHECKPOINT_VERSION
+        assert doc["pages"]
+
+
+class TestBarrierKernel:
+    def test_rounds_complete_in_order(self, cfg4):
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        stats = run_barrier_workload(cfg4, 8, rounds=4)
+        assert stats.order_correct
+        assert stats.total_cycles > 0
+
+    def test_many_threads(self, cfg4):
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        stats = run_barrier_workload(cfg4, 20, rounds=3)
+        assert stats.order_correct
+
+    def test_needs_two_threads(self, cfg4):
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        with pytest.raises(ValueError):
+            run_barrier_workload(cfg4, 1)
+
+    def test_cost_scales_with_rounds(self, cfg4):
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        r2 = run_barrier_workload(cfg4, 8, rounds=2)
+        r6 = run_barrier_workload(cfg4, 8, rounds=6)
+        assert r6.total_cycles > r2.total_cycles

@@ -1,0 +1,184 @@
+"""Command-set tests: the full Table I metadata and the 70 CMC codes."""
+
+import pytest
+
+from repro.hmc.commands import (
+    CMC_CODES,
+    COMMAND_TABLE,
+    DEFINED_CODES,
+    FLIT_BYTES,
+    MAX_PACKET_FLITS,
+    CommandKind,
+    cmc_rqst_for_code,
+    command_for_code,
+    command_info,
+    hmc_response_t,
+    hmc_rqst_t,
+    is_cmc_code,
+)
+
+
+class TestCommandSpace:
+    def test_exactly_70_cmc_codes(self):
+        assert len(CMC_CODES) == 70
+
+    def test_defined_plus_cmc_covers_whole_space(self):
+        assert sorted(set(CMC_CODES) | DEFINED_CODES) == list(range(128))
+
+    def test_defined_and_cmc_disjoint(self):
+        assert not set(CMC_CODES) & DEFINED_CODES
+
+    def test_table_has_all_128_codes(self):
+        assert sorted(COMMAND_TABLE) == list(range(128))
+
+    def test_every_enum_member_unique_code(self):
+        codes = [int(m) for m in hmc_rqst_t]
+        assert len(codes) == len(set(codes)) == 128
+
+    def test_cmc_members_named_by_decimal_code(self):
+        for code in CMC_CODES:
+            assert hmc_rqst_t(code).name == f"CMC{code:02d}"
+
+    def test_mutex_codes_are_cmc_eligible(self):
+        # The paper's mutex set occupies 125/126/127.
+        for code in (125, 126, 127):
+            assert is_cmc_code(code)
+
+    def test_flow_codes(self):
+        assert int(hmc_rqst_t.PRET) == 1
+        assert int(hmc_rqst_t.TRET) == 2
+        assert int(hmc_rqst_t.IRTRY) == 3
+
+
+# Every atomic row of the paper's Table I: (name, rqst_flits, rsp_flits).
+TABLE1_ATOMICS = [
+    ("TWOADD8", 2, 1),
+    ("ADD16", 2, 1),
+    ("P_2ADD8", 2, 0),
+    ("P_ADD16", 2, 0),
+    ("TWOADDS8R", 2, 2),
+    ("ADDS16R", 2, 2),
+    ("INC8", 1, 1),
+    ("P_INC8", 1, 0),
+    ("XOR16", 2, 2),
+    ("OR16", 2, 2),
+    ("NOR16", 2, 2),
+    ("AND16", 2, 2),
+    ("NAND16", 2, 2),
+    ("CASGT8", 2, 2),
+    ("CASGT16", 2, 2),
+    ("CASLT8", 2, 2),
+    ("CASLT16", 2, 2),
+    ("CASEQ8", 2, 2),
+    ("CASZERO16", 2, 2),
+    ("EQ8", 2, 1),
+    ("EQ16", 2, 1),
+    ("BWR", 2, 1),
+    ("P_BWR", 2, 0),
+    ("BWR8R", 2, 2),
+    ("SWAP16", 2, 2),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name,rq,rs", TABLE1_ATOMICS)
+    def test_atomic_flit_counts(self, name, rq, rs):
+        info = command_info(hmc_rqst_t[name])
+        assert info.rqst_flits == rq, f"{name} request flits"
+        assert info.rsp_flits == rs, f"{name} response flits"
+
+    def test_rd256(self):
+        info = command_info(hmc_rqst_t.RD256)
+        assert (info.rqst_flits, info.rsp_flits) == (1, 17)
+
+    def test_wr256(self):
+        info = command_info(hmc_rqst_t.WR256)
+        assert (info.rqst_flits, info.rsp_flits) == (17, 1)
+
+    def test_p_wr256(self):
+        info = command_info(hmc_rqst_t.P_WR256)
+        assert (info.rqst_flits, info.rsp_flits) == (17, 0)
+        assert info.posted
+
+    @pytest.mark.parametrize("i,name", enumerate(
+        ["RD16", "RD32", "RD48", "RD64", "RD80", "RD96", "RD112", "RD128"]
+    ))
+    def test_read_ladder(self, i, name):
+        info = command_info(hmc_rqst_t[name])
+        assert info.rqst_flits == 1
+        assert info.rsp_flits == 2 + i
+        assert info.rsp_data_bytes == 16 * (i + 1)
+
+    @pytest.mark.parametrize("i,name", enumerate(
+        ["WR16", "WR32", "WR48", "WR64", "WR80", "WR96", "WR112", "WR128"]
+    ))
+    def test_write_ladder(self, i, name):
+        info = command_info(hmc_rqst_t[name])
+        assert info.rqst_flits == 2 + i
+        assert info.rsp_flits == 1
+        assert info.rqst_data_bytes == 16 * (i + 1)
+
+    def test_posted_writes_have_no_response(self):
+        for name in ["P_WR16", "P_WR64", "P_WR128", "P_WR256", "P_BWR", "P_INC8"]:
+            info = command_info(hmc_rqst_t[name])
+            assert info.posted
+            assert info.rsp_cmd is hmc_response_t.RSP_NONE
+
+    def test_atomics_with_return_use_rd_rs(self):
+        for name in ["TWOADDS8R", "ADDS16R", "XOR16", "SWAP16", "BWR8R"]:
+            assert command_info(hmc_rqst_t[name]).rsp_cmd is hmc_response_t.RD_RS
+
+    def test_atomics_without_data_use_wr_rs(self):
+        for name in ["TWOADD8", "ADD16", "INC8", "EQ8", "EQ16", "BWR"]:
+            assert command_info(hmc_rqst_t[name]).rsp_cmd is hmc_response_t.WR_RS
+
+
+class TestCommandInfo:
+    def test_max_packet_is_17_flits(self):
+        assert MAX_PACKET_FLITS == 17
+        assert max(
+            i.rqst_flits for i in COMMAND_TABLE.values() if i.rqst_flits
+        ) == 17
+
+    def test_flit_is_16_bytes(self):
+        # §IV: "A single HMC FLIT represents 128 bits of packet data."
+        assert FLIT_BYTES == 16
+
+    def test_cmc_rows_have_no_static_lengths(self):
+        for code in CMC_CODES:
+            info = COMMAND_TABLE[code]
+            assert info.kind is CommandKind.CMC
+            assert info.rqst_flits is None
+            assert info.rsp_flits is None
+            assert info.rsp_cmd is hmc_response_t.RSP_CMC
+
+    def test_command_for_code_bounds(self):
+        with pytest.raises(KeyError):
+            command_for_code(128)
+        with pytest.raises(KeyError):
+            command_for_code(-1)
+
+    def test_cmc_rqst_for_code_rejects_defined(self):
+        with pytest.raises(ValueError):
+            cmc_rqst_for_code(int(hmc_rqst_t.WR16))
+
+    def test_cmc_rqst_for_code_accepts_unused(self):
+        assert cmc_rqst_for_code(125) is hmc_rqst_t.CMC125
+
+    def test_code_property_matches_enum(self):
+        for info in COMMAND_TABLE.values():
+            assert info.code == int(info.rqst)
+
+    def test_data_bytes_derivation(self):
+        info = command_info(hmc_rqst_t.WR64)
+        assert info.rqst_data_bytes == 64
+        assert info.rsp_data_bytes == 0
+        info = command_info(hmc_rqst_t.RD64)
+        assert info.rqst_data_bytes == 0
+        assert info.rsp_data_bytes == 64
+
+    def test_flow_commands_not_posted_kind(self):
+        # FLOW packets never respond but are not "posted writes".
+        info = command_info(hmc_rqst_t.PRET)
+        assert info.kind is CommandKind.FLOW
+        assert not info.posted

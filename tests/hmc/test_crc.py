@@ -1,0 +1,50 @@
+"""CRC tests: algebraic properties of the Koopman CRC-32."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hmc.crc import KOOPMAN_POLY, crc32_koopman, packet_crc
+
+
+class TestCRC:
+    def test_poly_constant(self):
+        # The HMC specification's CRC-32 polynomial.
+        assert KOOPMAN_POLY == 0x741B8CD7
+
+    def test_empty_is_zero(self):
+        assert crc32_koopman(b"") == 0
+
+    def test_deterministic(self):
+        assert crc32_koopman(b"hmc-sim") == crc32_koopman(b"hmc-sim")
+
+    def test_single_bit_sensitivity(self):
+        a = crc32_koopman(bytes(64))
+        for bit in (0, 7, 200, 511):
+            data = bytearray(64)
+            data[bit // 8] |= 1 << (bit % 8)
+            assert crc32_koopman(bytes(data)) != a, f"bit {bit} undetected"
+
+    def test_fits_32_bits(self):
+        assert 0 <= crc32_koopman(b"\xff" * 100) < (1 << 32)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 511))
+    def test_bitflip_detected_property(self, data, bitpos):
+        bitpos %= len(data) * 8
+        mutated = bytearray(data)
+        mutated[bitpos // 8] ^= 1 << (bitpos % 8)
+        assert crc32_koopman(bytes(mutated)) != crc32_koopman(data)
+
+    def test_packet_crc_ignores_crc_field(self):
+        words = [0x12345678, 0xDEADBEEF]
+        a = packet_crc(words)
+        # Setting the CRC field (tail bits [63:32]) must not change it.
+        words2 = [words[0], words[1] | (0xABCDEF01 << 32)]
+        assert packet_crc(words2) == a
+
+    def test_packet_crc_covers_low_tail_bits(self):
+        a = packet_crc([1, 2])
+        b = packet_crc([1, 3])
+        assert a != b
+
+    def test_packet_crc_empty(self):
+        assert packet_crc([]) == 0

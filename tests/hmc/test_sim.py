@@ -1,0 +1,152 @@
+"""HMCSim context tests: lifecycle, tag policing, API errors."""
+
+import io
+
+import pytest
+
+from repro.errors import HMCSimError, HMCStatus, TagError
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.hmc.trace import TraceLevel
+
+
+class TestConstruction:
+    def test_from_config_object(self, cfg4):
+        assert HMCSim(cfg4).config is cfg4
+
+    def test_from_kwargs(self):
+        sim = HMCSim(num_links=8, capacity=8)
+        assert sim.config.describe() == "8Link-8GB"
+
+    def test_config_and_kwargs_conflict(self, cfg4):
+        with pytest.raises(HMCSimError):
+            HMCSim(cfg4, num_links=8)
+
+    def test_device_count(self):
+        sim = HMCSim(HMCConfig(num_devs=3, capacity=2))
+        assert len(sim.devices) == 3
+
+    def test_repr_mentions_config(self, sim):
+        assert "4Link-4GB" in repr(sim)
+
+
+class TestLifecycle:
+    def test_free_blocks_further_use(self, sim):
+        sim.free()
+        with pytest.raises(HMCSimError):
+            sim.clock()
+        with pytest.raises(HMCSimError):
+            sim.send(None)  # type: ignore[arg-type]
+        with pytest.raises(HMCSimError):
+            sim.load_cmc("repro.cmc_ops.lock")
+        with pytest.raises(HMCSimError):
+            sim.mem_read(0, 8)
+
+    def test_clock_returns_cycle(self, sim):
+        assert sim.clock() == 1
+        assert sim.clock(5) == 6
+        assert sim.cycle == 6
+
+    def test_drain_timeout(self, sim):
+        # A request that can never complete (we never clock enough) —
+        # simulate by filling a vault queue and setting max_cycles=0.
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        with pytest.raises(HMCSimError):
+            sim.drain(max_cycles=0)
+
+
+class TestTagPolicing:
+    def test_duplicate_outstanding_tag_rejected(self, sim):
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 7))
+        with pytest.raises(TagError):
+            sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 64, 7))
+
+    def test_tag_freed_after_recv(self, sim, do_roundtrip):
+        do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 7))
+        # Same tag is reusable now.
+        do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 64, 7))
+
+    def test_posted_requests_do_not_hold_tags(self, sim):
+        for _ in range(3):
+            pkt = sim.build_memrequest(hmc_rqst_t.P_WR16, 0, 7, data=bytes(16))
+            assert sim.send(pkt) is HMCStatus.OK
+
+    def test_strict_tags_disabled(self, cfg4):
+        sim = HMCSim(cfg4, strict_tags=False)
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 7))
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 64, 7))  # no raise
+
+    def test_same_tag_different_cubes_ok(self):
+        sim = HMCSim(HMCConfig(num_devs=2, capacity=2))
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 7, cub=0), dev=0)
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 7, cub=1), dev=1)
+
+    def test_stalled_send_does_not_hold_tag(self):
+        sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar_depth=2))
+        for tag in range(2):
+            sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, tag))
+        pkt = sim.build_memrequest(hmc_rqst_t.RD16, 0, 9)
+        assert sim.send(pkt) is HMCStatus.STALL
+        sim.clock()
+        # Retrying the same tag after a stall must not be a TagError.
+        assert sim.send(pkt) is HMCStatus.OK
+
+
+class TestAPIErrors:
+    def test_send_bad_device(self, sim):
+        with pytest.raises(HMCSimError):
+            sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 0), dev=5)
+
+    def test_send_bad_link(self, sim):
+        with pytest.raises(ValueError):
+            sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 0), link=9)
+
+    def test_build_cmc_before_load_fails(self, sim):
+        from repro.errors import CMCNotActiveError
+
+        with pytest.raises(CMCNotActiveError):
+            sim.build_memrequest(hmc_rqst_t.CMC125, 0, 0)
+
+    def test_build_cmc_after_load(self, sim_with_mutex):
+        pkt = sim_with_mutex.build_memrequest(hmc_rqst_t.CMC125, 0, 0, data=bytes(16))
+        assert pkt.lng == 2
+
+
+class TestTracingAPI:
+    def test_trace_handle_and_level(self, sim, do_roundtrip):
+        buf = io.StringIO()
+        sim.trace_handle(buf)
+        sim.trace_level(TraceLevel.ALL)
+        do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        out = buf.getvalue()
+        assert "RQST=RD16" in out
+        assert "RSP=RD_RS" in out
+        assert "LATENCY" in out
+
+    def test_trace_off_by_default(self, sim, do_roundtrip):
+        do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        assert sim.tracer.events == []
+
+
+class TestCheckCRC:
+    def test_crc_checked_configs_roundtrip(self, do_roundtrip):
+        sim = HMCSim(HMCConfig.cfg_4link_4gb(check_crc=True))
+        rsp = do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        assert rsp is not None
+
+
+class TestStats:
+    def test_counters(self, sim, do_roundtrip):
+        do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
+        s = sim.stats()
+        assert s["sent_rqsts"] == 1
+        assert s["recvd_rsps"] == 1
+        assert s["outstanding"] == 0
+
+    def test_cmc_op_counters(self, sim_with_mutex, do_roundtrip):
+        from repro.cmc_ops.mutex import build_lock, init_lock
+
+        init_lock(sim_with_mutex, 0x40)
+        do_roundtrip(sim_with_mutex, build_lock(sim_with_mutex, 0x40, 1, tid=9))
+        assert sim_with_mutex.stats()["cmc_ops"]["hmc_lock"] == 1

@@ -1,0 +1,100 @@
+"""Trace subsystem tests: levels, sinks, rendering, CMC name resolution."""
+
+import io
+
+from repro.hmc.trace import TraceEvent, TraceLevel, Tracer
+
+
+class TestLevels:
+    def test_none_records_nothing(self):
+        t = Tracer(TraceLevel.NONE)
+        t.trace_stall(1, where="x", dev=0, src=0)
+        assert t.events == []
+
+    def test_all_includes_every_category(self):
+        for lvl in (TraceLevel.BANK, TraceLevel.QUEUE, TraceLevel.CMD,
+                    TraceLevel.STALL, TraceLevel.LATENCY, TraceLevel.POWER):
+            assert TraceLevel.ALL & lvl
+
+    def test_filtering_is_per_category(self):
+        t = Tracer(TraceLevel.STALL)
+        t.trace_stall(1, where="q", dev=0, src=1)
+        t.trace_latency(1, tag=5, cycles=3)
+        assert len(t.events) == 1
+        assert t.events[0].level is TraceLevel.STALL
+
+    def test_set_level(self):
+        t = Tracer()
+        assert not t.enabled(TraceLevel.CMD)
+        t.set_level(TraceLevel.CMD | TraceLevel.BANK)
+        assert t.enabled(TraceLevel.CMD)
+        assert t.enabled(TraceLevel.BANK)
+        assert not t.enabled(TraceLevel.STALL)
+
+
+class TestRendering:
+    def test_event_render_format(self):
+        ev = TraceEvent(TraceLevel.CMD, 42, rqst="hmc_lock", vault=3)
+        line = ev.render()
+        assert line.startswith("HMCSIM_TRACE : CMD : CYCLE=42")
+        assert "RQST=hmc_lock" in line
+        assert "VAULT=3" in line
+
+    def test_cmc_op_name_appears_in_trace(self):
+        # The §IV.A Discrete Tracing requirement: CMC ops are resolved
+        # by their cmc_str name, not an opaque code.
+        t = Tracer(TraceLevel.CMD)
+        t.trace_rqst(7, op="hmc_trylock", dev=0, quad=0, vault=0, bank=0,
+                     addr=0x40, length=2)
+        assert "RQST=hmc_trylock" in t.events[0].render()
+
+    def test_handle_receives_lines(self):
+        buf = io.StringIO()
+        t = Tracer(TraceLevel.STALL, handle=buf)
+        t.trace_stall(3, where="vault0.rqst", dev=0, src=2)
+        assert "STALL" in buf.getvalue()
+        assert buf.getvalue().endswith("\n")
+
+    def test_set_handle_late(self):
+        t = Tracer(TraceLevel.LATENCY)
+        buf = io.StringIO()
+        t.set_handle(buf)
+        t.trace_latency(9, tag=1, cycles=3)
+        assert "CYCLES=3" in buf.getvalue()
+
+    def test_render_all(self):
+        t = Tracer(TraceLevel.BANK)
+        t.trace_bank_conflict(1, dev=0, quad=0, vault=2, bank=5, addr=0x1000)
+        t.trace_bank_conflict(2, dev=0, quad=0, vault=2, bank=5, addr=0x1000)
+        out = t.render_all()
+        assert out.count("\n") == 2
+        assert "ADDR=0x1000" in out
+
+
+class TestBuffering:
+    def test_counts_by_category(self):
+        t = Tracer(TraceLevel.ALL)
+        t.trace_stall(1, where="a", dev=0, src=0)
+        t.trace_stall(2, where="b", dev=0, src=0)
+        t.trace_latency(3, tag=0, cycles=1)
+        assert t.counts["STALL"] == 2
+        assert t.counts["LATENCY"] == 1
+
+    def test_buffer_bound_drops_but_counts(self):
+        t = Tracer(TraceLevel.STALL, max_buffer=2)
+        for i in range(5):
+            t.trace_stall(i, where="q", dev=0, src=0)
+        assert len(t.events) == 2
+        assert t.dropped == 3
+        assert t.counts["STALL"] == 5
+
+    def test_clear(self):
+        t = Tracer(TraceLevel.ALL)
+        t.trace_power(1, op="INC8", energy_pj=12.5)
+        t.clear()
+        assert t.events == [] and t.counts == {} and t.dropped == 0
+
+    def test_power_rounding(self):
+        t = Tracer(TraceLevel.POWER)
+        t.trace_power(1, op="INC8", energy_pj=1.23456)
+        assert "ENERGY_PJ=1.235" in t.events[0].render()
