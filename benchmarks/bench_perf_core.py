@@ -1,0 +1,71 @@
+"""Core engine throughput: the active-set cycle engine hot path.
+
+Runs the three wall-clock benchmarks behind ``BENCH_core.json``
+(Algorithm-1 mutex sweep, STREAM Triad, RandomAccess scatter) through
+the shared driver in ``scripts/bench_to_json.py`` and emits a
+cycles-per-second table.
+
+Simulated cycle counts are asserted, wall-clock numbers are only
+reported: the engine optimisation contract is *identical results,
+faster* — determinism is testable on any machine, absolute speed is
+not.  The headline before/after comparison lives in ``BENCH_core.json``
+(regenerate with ``PYTHONPATH=src python scripts/bench_to_json.py``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+
+REPO = Path(__file__).resolve().parent.parent
+DRIVER = REPO / "scripts" / "bench_to_json.py"
+BASELINE = REPO / "benchmarks" / "baseline_seed.json"
+
+
+def _load_driver():
+    spec = importlib.util.spec_from_file_location("bench_to_json", DRIVER)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_perf_core(benchmark, artifact_dir):
+    driver = _load_driver()
+    step = int(os.environ.get("REPRO_SWEEP_STEP", "25"))
+    results = benchmark.pedantic(
+        lambda: driver.run_all(step), rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            name,
+            r["sim_cycles"],
+            f"{r['wall_s']:.3f}",
+            f"{r['cycles_per_sec']:,.0f}",
+        )
+        for name, r in results.items()
+    ]
+    for _, sim_cycles, _, _ in rows:
+        assert sim_cycles > 0
+
+    text = "Core engine throughput (simulated cycles per wall second)\n"
+    text += format_table(["benchmark", "sim cycles", "wall s", "cycles/sec"], rows)
+
+    # When the run matches the seed baseline's sweep step, the simulated
+    # work must be identical — the active-set engine changes wall clock,
+    # never results.
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        if baseline["meta"]["sweep_step"] == step:
+            for name, r in results.items():
+                assert r["sim_cycles"] == baseline["results"][name]["sim_cycles"]
+            text += "\nsim_cycles match the seed baseline (engine parity)."
+
+    emit(artifact_dir, "perf_core", text)

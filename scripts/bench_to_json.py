@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Measure simulator-core throughput and emit ``BENCH_core.json``.
+
+Three wall-clock benchmarks exercise the cycle-engine hot path:
+
+* **mutex_sweep** — the paper's Algorithm-1 sweep (Figures 5-7 /
+  Table VI) over a thinned thread axis (``REPRO_SWEEP_STEP``, default
+  7) on both evaluation configurations;
+* **stream_triad** — stride-1 STREAM Triad (bandwidth-shaped traffic
+  touching every vault);
+* **gups** — RandomAccess atomic-offload scatter.
+
+Each reports wall seconds, simulated device cycles, and the headline
+metric **cycles/sec** (simulated cycles per wall-clock second).
+
+Usage::
+
+    # one-time: record the pre-optimization baseline
+    PYTHONPATH=src python scripts/bench_to_json.py --capture-baseline
+
+    # after changes: measure, compare against the baseline, write
+    # BENCH_core.json at the repo root
+    PYTHONPATH=src python scripts/bench_to_json.py
+
+``REPRO_SWEEP_STEP=<k>`` thins the sweep axis (7 for the headline
+number, 25 for the CI smoke run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.hmc.config import HMCConfig  # noqa: E402
+from repro.host.kernels.gups import run_gups  # noqa: E402
+from repro.host.kernels.mutex_kernel import run_mutex_workload  # noqa: E402
+from repro.host.kernels.stream import run_stream_triad  # noqa: E402
+
+BASELINE_PATH = REPO / "benchmarks" / "baseline_seed.json"
+OUT_PATH = REPO / "BENCH_core.json"
+
+
+def _axis(step: int):
+    if step <= 1:
+        return list(range(2, 101))
+    return sorted(set(list(range(2, 101))[::step]) | {2, 99, 100})
+
+
+def bench_mutex_sweep(step: int) -> Dict[str, object]:
+    axis = _axis(step)
+    cycles = 0
+    t0 = time.perf_counter()
+    for cfg in (HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb()):
+        for n in axis:
+            cycles += run_mutex_workload(cfg, n).total_cycles
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 4),
+        "sim_cycles": cycles,
+        "cycles_per_sec": round(cycles / wall, 1),
+        "points": len(axis) * 2,
+        "sweep_step": step,
+    }
+
+
+def bench_stream_triad() -> Dict[str, object]:
+    t0 = time.perf_counter()
+    stats = run_stream_triad(
+        HMCConfig.cfg_4link_4gb(), num_threads=16, blocks_per_thread=48
+    )
+    wall = time.perf_counter() - t0
+    assert stats.max_abs_error == 0.0
+    return {
+        "wall_s": round(wall, 4),
+        "sim_cycles": stats.cycles,
+        "cycles_per_sec": round(stats.cycles / wall, 1),
+        "bytes_per_cycle": round(stats.bytes_per_cycle, 3),
+    }
+
+
+def bench_gups() -> Dict[str, object]:
+    t0 = time.perf_counter()
+    stats = run_gups(
+        HMCConfig.cfg_4link_4gb(),
+        num_threads=16,
+        updates_per_thread=48,
+        table_entries=4096,
+        use_atomic=True,
+    )
+    wall = time.perf_counter() - t0
+    assert stats.verified
+    return {
+        "wall_s": round(wall, 4),
+        "sim_cycles": stats.cycles,
+        "cycles_per_sec": round(stats.cycles / wall, 1),
+        "updates_per_cycle": round(stats.updates_per_cycle, 4),
+    }
+
+
+def run_all(step: int) -> Dict[str, Dict[str, object]]:
+    return {
+        "mutex_sweep": bench_mutex_sweep(step),
+        "stream_triad": bench_stream_triad(),
+        "gups": bench_gups(),
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--capture-baseline",
+        action="store_true",
+        help=f"write results to {BASELINE_PATH} instead of comparing",
+    )
+    ap.add_argument("--out", type=Path, default=OUT_PATH)
+    ap.add_argument(
+        "--label", default="", help="free-form label stored in the output"
+    )
+    args = ap.parse_args()
+
+    step = int(os.environ.get("REPRO_SWEEP_STEP", "7"))
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sweep_step": step,
+        "label": args.label,
+    }
+    results = run_all(step)
+
+    if args.capture_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps({"meta": meta, "results": results}, indent=1) + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        print(json.dumps(results, indent=1))
+        return
+
+    doc: Dict[str, object] = {"meta": meta, "after": results}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        doc["before"] = baseline["results"]
+        doc["baseline_meta"] = baseline["meta"]
+        speedup = {}
+        for name, after in results.items():
+            before = baseline["results"].get(name)
+            if not before or not before.get("wall_s"):
+                continue
+            if before.get("sweep_step", step) != after.get("sweep_step", step):
+                # A thinned sweep against a fuller baseline (or vice
+                # versa) measures different work — no honest ratio.
+                speedup[name] = None
+                continue
+            speedup[name] = round(before["wall_s"] / after["wall_s"], 2)
+        doc["speedup"] = speedup
+    args.out.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    print(json.dumps(doc.get("speedup", results), indent=1))
+
+
+if __name__ == "__main__":
+    main()

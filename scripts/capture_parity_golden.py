@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the engine determinism-parity golden file.
+
+Runs the three canned workloads in ``tests/hmc/parity_workloads.py``
+and writes their full signatures to
+``tests/hmc/golden_engine_parity.json``.
+
+The goldens pin simulated behaviour (cycle counts, stall counters,
+queue high-water marks, memory digests) across engine refactors: only
+regenerate them when a change is *intended* to alter simulated
+results, and call that out in the PR description.
+
+Usage:  PYTHONPATH=src python scripts/capture_parity_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from hmc.parity_workloads import WORKLOADS  # noqa: E402
+
+GOLDEN = REPO / "tests" / "hmc" / "golden_engine_parity.json"
+
+
+def main() -> None:
+    doc = {}
+    for name, runner in WORKLOADS.items():
+        print(f"running {name} ...", flush=True)
+        doc[name] = runner()
+    GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

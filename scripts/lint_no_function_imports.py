@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on function-level imports in the simulator hot-path package.
+
+Imports inside functions on the per-cycle path (``hmcsim_process_rqst``
+and friends ran one per packet before the active-set engine hoisted
+them) cost a dict lookup and a call per execution and hide the module's
+real dependency graph.  This lint keeps them from creeping back into
+``src/repro/hmc/``.
+
+One idiom is exempt: imports inside a module-level ``__getattr__``
+(PEP 562 lazy attribute access), the standard way to break an import
+cycle — never on the simulation hot path.
+
+Usage:  python scripts/lint_no_function_imports.py
+Exit status 0 when clean, 1 with one ``path:line`` diagnostic per
+violation otherwise.  ``tests/hmc/test_lint_clean.py`` runs it in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+LINTED = REPO / "src" / "repro" / "hmc"
+
+#: Function names whose body may import (lazy-import idioms).
+ALLOWED_FUNCTIONS = frozenset({"__getattr__"})
+
+
+def violations_in(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, enclosing function)`` for each bad import."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+
+    def visit(node: ast.AST, func: str) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name not in ALLOWED_FUNCTIONS:
+                    yield from visit(child, child.name)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                if func:
+                    yield child.lineno, func
+            else:
+                yield from visit(child, func)
+
+    yield from visit(tree, "")
+
+
+def run(root: Path = LINTED) -> List[str]:
+    """Return one diagnostic line per violation under ``root``."""
+    out = []
+    for path in sorted(root.rglob("*.py")):
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        for lineno, func in violations_in(path):
+            out.append(
+                f"{shown}:{lineno}: import inside "
+                f"{func}() — hoist it to module level"
+            )
+    return out
+
+
+def main() -> int:
+    diags = run()
+    for diag in diags:
+        print(diag)
+    if diags:
+        print(
+            f"\n{len(diags)} function-level import(s) in "
+            f"{LINTED.relative_to(REPO)} — see scripts/lint_no_function_imports.py"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

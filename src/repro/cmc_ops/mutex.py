@@ -10,6 +10,7 @@ bundle, mirroring how a user would ship a family of cooperating ops.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.cmc_ops import base
@@ -41,8 +42,13 @@ def load_mutex_ops(sim: HMCSim) -> List[CMCOperation]:
     return [sim.load_cmc(name) for name in MUTEX_PLUGINS]
 
 
+@lru_cache(maxsize=4096)
 def _tid_payload(tid: int) -> bytes:
-    """One FLIT of request data carrying the thread id in the low word."""
+    """One FLIT of request data carrying the thread id in the low word.
+
+    Memoized: a spinning thread rebuilds this payload on every retry
+    (bytes are immutable, so sharing one object is safe).
+    """
     return (tid & ((1 << 64) - 1)).to_bytes(8, "little") + bytes(8)
 
 

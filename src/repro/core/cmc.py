@@ -19,7 +19,9 @@ The registry enforces the architectural limits from the paper:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CMCExecutionError, CMCLoadError, CMCNotActiveError
@@ -31,6 +33,12 @@ from repro.hmc.commands import (
 )
 
 __all__ = ["CMCRegistration", "CMCOperation", "CMCRegistry", "MAX_CMC_OPS", "ExecuteFn"]
+
+
+@lru_cache(maxsize=32)
+def _word_packer(n_words: int):
+    """Bound ``pack`` method of a little-endian ``n_words``-u64 Struct."""
+    return struct.Struct("<%dQ" % n_words).pack
 
 #: Maximum number of concurrently loaded CMC operations (paper §I/§IV.A).
 MAX_CMC_OPS = 70
@@ -273,7 +281,11 @@ class CMCRegistry:
                 paper warns about).
         """
         cmd = head & 0x7F
-        op = self.get(cmd)
+        # Inlined happy path of :meth:`get`; the slow path re-runs it
+        # for the documented CMCNotActiveError.
+        op = self._ops.get(cmd)
+        if op is None or not op.active:
+            op = self.get(cmd)
         reg = op.registration
         rsp_words: List[int] = [0] * max(0, 2 * (reg.rsp_len - 1))
         n_rsp_words = len(rsp_words)
@@ -301,14 +313,21 @@ class CMCRegistry:
                 f"buffer from {n_rsp_words} to {len(rsp_words)} words — "
                 f"implementations must write in place within rsp_len"
             )
-        bad = [w for w in rsp_words if not 0 <= w < (1 << 64)]
-        if bad:
+        try:
+            # struct both packs and range-checks in one C-level pass;
+            # its error is translated to the documented exception below.
+            rsp_data = _word_packer(n_rsp_words)(*rsp_words)
+        except struct.error:
+            bad = [
+                w
+                for w in rsp_words
+                if not isinstance(w, int) or not 0 <= w < (1 << 64)
+            ]
             raise CMCExecutionError(
                 f"CMC operation {op.op_name!r} wrote a value outside the "
                 f"64-bit word range into its response payload: {bad[0]!r}"
-            )
+            ) from None
         op.executions += 1
-        rsp_data = b"".join(w.to_bytes(8, "little") for w in rsp_words)
         return op, rsp_data, reg.wire_rsp_cmd
 
     def str_for(self, cmd: int) -> str:

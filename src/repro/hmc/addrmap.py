@@ -167,9 +167,46 @@ class AddressMap:
         lo = self._boff_bits + self._vault_bits if self._vault_first else self._boff_bits
         return (addr >> lo) & (self.config.num_banks - 1)
 
+    def row_of(self, addr: int) -> int:
+        """Fast path: just the row coordinate of ``addr``.
+
+        The row field sits above both the vault and bank selects
+        regardless of interleave order, so it is a single shift+mask —
+        no full :meth:`decode` needed on the bank-timing hot path.
+        """
+        return (addr >> self._row_lo) & ((1 << self._row_bits) - 1)
+
     def dev_of(self, addr: int) -> int:
         """Fast path: the cube (device) index of ``addr``."""
         return addr // self.config.capacity_bytes
+
+    def routing_constants(self) -> Tuple[int, int, int, int, int, int]:
+        """Bit-extraction constants for inlined routing on the send path.
+
+        Returns ``(vault_lo, vault_mask, bank_lo, bank_mask, row_lo,
+        row_mask)`` such that for a device-local address ``a``::
+
+            vault = (a >> vault_lo) & vault_mask
+            bank  = (a >> bank_lo)  & bank_mask
+            row   = (a >> row_lo)   & row_mask
+
+        reproduce :meth:`vault_of` / :meth:`bank_of` / :meth:`row_of`.
+        """
+        cfg = self.config
+        if self._vault_first:
+            vault_lo = self._boff_bits
+            bank_lo = self._boff_bits + self._vault_bits
+        else:
+            bank_lo = self._boff_bits
+            vault_lo = self._boff_bits + self._bank_bits
+        return (
+            vault_lo,
+            cfg.num_vaults - 1,
+            bank_lo,
+            cfg.num_banks - 1,
+            self._row_lo,
+            (1 << self._row_bits) - 1,
+        )
 
     @property
     def row_bits(self) -> int:

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from repro.errors import HMCSimError
+from repro.hmc.registers import HMC_REG
 from repro.hmc.sim import HMCSim
 
 __all__ = ["save_checkpoint", "restore_checkpoint", "CHECKPOINT_VERSION"]
@@ -107,8 +108,6 @@ def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
     sim.backend.clear()
     for page in doc["pages"]:
         sim.backend.write(page["base"], base64.b64decode(page["data"]))
-    from repro.hmc.registers import HMC_REG
-
     for dev, snapshot in zip(sim.devices, doc["registers"]):
         for name, value in snapshot.items():
             if name in ("FEAT", "RVID"):

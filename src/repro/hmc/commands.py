@@ -22,7 +22,7 @@ Key facts encoded here (and pinned by ``tests/hmc/test_commands.py``):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "CommandKind",
     "CommandInfo",
     "COMMAND_TABLE",
+    "COMMAND_TABLE_LIST",
     "CMC_CODES",
     "DEFINED_CODES",
     "command_info",
@@ -208,18 +209,33 @@ class CommandInfo:
     rsp_flits: Optional[int]
     rsp_cmd: hmc_response_t
 
+    # Derived values read once per simulated request on the execute
+    # hot path; precomputed here so lookups are plain attribute loads
+    # instead of per-access property evaluations.
+    posted: bool = field(init=False)
+    rsp_cmd_code: int = field(init=False)
+    rqst_name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "posted",
+            self.rsp_cmd is hmc_response_t.RSP_NONE
+            and self.kind in (CommandKind.POSTED_WRITE, CommandKind.POSTED_ATOMIC),
+        )
+        object.__setattr__(
+            self,
+            "rsp_cmd_code",
+            int(self.rsp_cmd)
+            if self.rsp_cmd is not hmc_response_t.RSP_NONE
+            else 0,
+        )
+        object.__setattr__(self, "rqst_name", self.rqst.name)
+
     @property
     def code(self) -> int:
         """The 7-bit wire encoding of the command."""
         return int(self.rqst)
-
-    @property
-    def posted(self) -> bool:
-        """True if the command never generates a response packet."""
-        return self.rsp_cmd is hmc_response_t.RSP_NONE and self.kind in (
-            CommandKind.POSTED_WRITE,
-            CommandKind.POSTED_ATOMIC,
-        )
 
     @property
     def rqst_data_bytes(self) -> Optional[int]:
@@ -334,6 +350,13 @@ def _build_table() -> Dict[int, CommandInfo]:
 #: Complete command metadata table, keyed by 7-bit command code.
 COMMAND_TABLE: Dict[int, CommandInfo] = _build_table()
 
+#: The same table as a dense tuple indexed by command code — the cycle
+#: engine's hot-path lookup (no hashing, no bounds arithmetic beyond the
+#: index itself).
+COMMAND_TABLE_LIST: Tuple[CommandInfo, ...] = tuple(
+    COMMAND_TABLE[code] for code in range(1 << CMD_FIELD_WIDTH)
+)
+
 
 def command_info(rqst: "hmc_rqst_t") -> CommandInfo:
     """Return the :class:`CommandInfo` row for a request enum member."""
@@ -348,7 +371,7 @@ def command_for_code(code: int) -> CommandInfo:
     """
     if not 0 <= code < (1 << CMD_FIELD_WIDTH):
         raise KeyError(f"command code {code} outside the 7-bit command space")
-    return COMMAND_TABLE[code]
+    return COMMAND_TABLE_LIST[code]
 
 
 def is_cmc_code(code: int) -> bool:

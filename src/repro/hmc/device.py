@@ -18,9 +18,9 @@ Algorithm 1 fast path cost MIN_CYCLE = 6:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from repro.hmc.commands import CommandKind, command_for_code
+from repro.hmc.commands import COMMAND_TABLE_LIST, CommandKind, command_for_code
 from repro.hmc.config import HMCConfig
 from repro.hmc.link import Link
 from repro.hmc.memory import MemoryView
@@ -34,6 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hmc.sim import HMCSim
 
 __all__ = ["Device"]
+
+_T_CMD = int(TraceLevel.CMD)
+_T_LATENCY = int(TraceLevel.LATENCY)
+_T_STALL = int(TraceLevel.STALL)
+_FLOW = CommandKind.FLOW
 
 
 class Device:
@@ -54,6 +59,30 @@ class Device:
         self.registers = RegisterFile(config, dev)
         self._mem: MemoryView = sim.backend.view(
             dev * config.capacity_bytes, config.capacity_bytes
+        )
+        # Active-set scheduler state: vaults with queued or pending
+        # work.  Vaults add themselves on every successful push; the
+        # execute phase removes a vault once its queue and pending
+        # response slot are both empty.  Between phases the set is
+        # exactly {v : v.rqst_queue or v._pending_rsp}.
+        self._active_vaults: Set[int] = set()
+        for vault in self.vaults:
+            vault._sched = self._active_vaults
+        # Inlined routing constants for the send hot path.
+        self._cap_mask = config.capacity_bytes - 1
+        (
+            self._vault_lo,
+            self._vault_mask,
+            self._bank_lo,
+            self._bank_mask,
+            self._row_lo,
+            self._row_mask,
+        ) = sim.addrmap.routing_constants()
+        self._quads_of_vaults = tuple(
+            config.quad_of_vault(v) for v in range(config.num_vaults)
+        )
+        self._quads_of_links = tuple(
+            config.quad_of_link(l) for l in range(config.num_links)
         )
         # Counters.
         self.cmc_rejects = 0
@@ -108,7 +137,7 @@ class Device:
 
     def row_of(self, addr: int) -> int:
         """Row coordinate of a device-local address (for bank timing)."""
-        return self.sim.addrmap.decode(addr % self.config.capacity_bytes).row
+        return ((addr & self._cap_mask) >> self._row_lo) & self._row_mask
 
     # -- host interface --------------------------------------------------------
 
@@ -117,13 +146,16 @@ class Device:
         if not 0 <= link < self.config.num_links:
             raise ValueError(f"device {self.dev} has no link {link}")
         pkt.slid = link
-        local = pkt.addr % self.config.capacity_bytes
-        vault = self.sim.addrmap.vault_of(local)
-        bank = self.sim.addrmap.bank_of(local)
-        quad = self.config.quad_of_vault(vault)
+        lng = 1 + len(pkt.data) // 16  # pkt.lng, without the property calls
+        # Routing is computed exactly once here and carried on the
+        # Flight: vault/bank/quad for the crossbar, row for bank
+        # timing, and the command-table entry for every later phase.
+        local = pkt.addr & self._cap_mask
+        vault = (local >> self._vault_lo) & self._vault_mask
+        quad = self._quads_of_vaults[vault]
         hop = (
             self.config.nonlocal_hop_cycles
-            if self.config.quad_of_link(link) != quad
+            if self._quads_of_links[link] != quad
             else 0
         )
         flight = Flight(
@@ -131,35 +163,39 @@ class Device:
             src_link=link,
             inject_cycle=cycle,
             vault=vault,
-            bank=bank,
+            bank=(local >> self._bank_lo) & self._bank_mask,
             quad=quad,
             hop_delay=hop,
             origin_dev=self.dev,
+            info=COMMAND_TABLE_LIST[pkt.cmd],
+            row=(local >> self._row_lo) & self._row_mask,
         )
-        if self.flow is not None and not self.flow.try_acquire(
-            self.dev, link, pkt.lng
-        ):
+        flow = self.sim.flow
+        if flow is not None and not flow.try_acquire(self.dev, link, lng):
             # Link-layer token stall: the transmitter has no credit.
-            self.tracer.trace_stall(
-                cycle, where=f"link{link}.tokens", dev=self.dev, src=link
-            )
+            tracer = self.sim.tracer
+            if tracer.mask & _T_STALL:
+                tracer.trace_stall(
+                    cycle, where=f"link{link}.tokens", dev=self.dev, src=link
+                )
             return False
         ok = self.xbar.inject(link, flight)
-        if self.flow is not None:
+        if flow is not None:
             if ok:
-                flight.link_seq = self.flow.on_transmit(
-                    self.dev, link, pkt.lng, flight
-                )
+                flight.link_seq = flow.on_transmit(self.dev, link, lng, flight)
             else:
                 # Queue full after credit was granted: hand it back.
-                self.flow.refund(self.dev, link, pkt.lng)
+                flow.refund(self.dev, link, lng)
         if ok:
-            self.links[link].rqsts_in += 1
-            self.links[link].flits_in += pkt.lng
+            lk = self.links[link]
+            lk.rqsts_in += 1
+            lk.flits_in += lng
         else:
-            self.tracer.trace_stall(
-                cycle, where=f"link{link}.xbar_rqst", dev=self.dev, src=link
-            )
+            tracer = self.sim.tracer
+            if tracer.mask & _T_STALL:
+                tracer.trace_stall(
+                    cycle, where=f"link{link}.xbar_rqst", dev=self.dev, src=link
+                )
         return ok
 
     def recv(self, link: int) -> Optional[ResponsePacket]:
@@ -173,8 +209,26 @@ class Device:
 
     # -- clock phases ------------------------------------------------------------
 
+    def busy(self) -> bool:
+        """True when this device has work a cycle could progress.
+
+        O(1): active vaults, crossbar occupancy counters, and the flow
+        model's per-device replay index.  A device that is not busy
+        skips all three clock phases — every phase is a no-op on empty
+        structures, so skipping is observationally identical.
+        """
+        if self._active_vaults:
+            return True
+        xbar = self.xbar
+        if xbar.rqst_occ or xbar.rsp_occ:
+            return True
+        flow = self.sim.flow
+        return flow is not None and bool(flow.replay_links(self.dev))
+
     def clock(self, cycle: int) -> None:
         """Advance this device one cycle (three phases, fixed order)."""
+        if not self.busy():
+            return
         self._phase_retire(cycle)
         self._phase_vault_execute(cycle)
         self._phase_xbar_drain(cycle)
@@ -186,11 +240,18 @@ class Device:
         # bandwidth is what saturates first under the paper's hot-spot
         # workload, and it saturates at roughly half the thread count
         # on a 4-link device compared to an 8-link one.
-        trace_cmd = self.tracer.enabled(TraceLevel.CMD)
-        trace_lat = self.tracer.enabled(TraceLevel.LATENCY)
+        xbar = self.xbar
+        if not xbar.rsp_occ:
+            return
+        tracer = self.sim.tracer
+        tmask = tracer.mask
+        rate = self.config.link_rsp_rate
+        rsp_queues = xbar.rsp_queues
         for link in self.links:
-            for _ in range(self.config.link_rsp_rate):
-                rsp = self.xbar.pop_response(link.link_id)
+            if not rsp_queues[link.link_id]._q:
+                continue
+            for _ in range(rate):
+                rsp = xbar.pop_response(link.link_id)
                 if rsp is None:
                     break
                 rsp.retire_cycle = cycle
@@ -202,22 +263,33 @@ class Device:
                     continue
                 link.retire(rsp)
                 self.retired_rsps += 1
-                if trace_cmd:
+                if tmask & _T_CMD:
                     resp = rsp.response
                     op = resp.name if resp is not None else f"CMC_RSP({rsp.cmd})"
-                    self.tracer.trace_rsp(
+                    tracer.trace_rsp(
                         cycle, op=op, dev=self.dev, link=link.link_id, tag=rsp.tag
                     )
-                if trace_lat and rsp.inject_cycle >= 0:
-                    self.tracer.trace_latency(
+                if tmask & _T_LATENCY and rsp.inject_cycle >= 0:
+                    tracer.trace_latency(
                         cycle, tag=rsp.tag, cycles=cycle - rsp.inject_cycle
                     )
 
     def _phase_vault_execute(self, cycle: int) -> None:
-        for vault in self.vaults:
+        active = self._active_vaults
+        if not active:
+            return
+        vaults = self.vaults
+        # Ascending vault order matters: multiple vaults can target the
+        # same response queue, and the seed engine visited vaults in
+        # index order.  Inactive vaults are no-ops there, so iterating
+        # the sorted active set preserves ordering exactly.
+        for index in sorted(active):
+            vault = vaults[index]
             if not vault.flush_pending(self, cycle):
                 continue
             vault.step(self, cycle)
+            if not vault.rqst_queue._q and vault._pending_rsp is None:
+                active.discard(index)
 
     def _phase_xbar_drain(self, cycle: int) -> None:
         # Each link's crossbar queue drains fully per cycle (in order),
@@ -226,73 +298,93 @@ class Device:
         # order is the source of the small 4-link/8-link ordering
         # perturbations the paper observes past ~50 threads, once the
         # hot vault's 64-slot queue overflows back into the per-link
-        # crossbar queues.
-        for link_id in range(self.config.num_links):
-            if self.flow is not None:
+        # crossbar queues.  Only links with queued requests or due
+        # replays are visited; a skipped link is a no-op in the full
+        # scan (empty head, empty replay list), so ascending iteration
+        # over the active links is order-identical.
+        xbar = self.xbar
+        flow = self.sim.flow
+        rqst_queues = xbar.rqst_queues
+        if flow is None:
+            if not xbar.rqst_occ:
+                return
+            active = [l for l in range(self.config.num_links) if rqst_queues[l]._q]
+        else:
+            replay_links = flow.replay_links(self.dev)
+            if not xbar.rqst_occ and not replay_links:
+                return
+            active = sorted(
+                {l for l in range(self.config.num_links) if rqst_queues[l]._q}
+                | set(replay_links)
+            )
+        tracer = self.sim.tracer
+        num_devs = self.sim.config.num_devs
+        vaults = self.vaults
+        for link_id in active:
+            if flow is not None:
                 # Replay packets whose link-retry latency has elapsed.
-                for replay in self.flow.due_replays(self.dev, link_id, cycle):
-                    if self.flow.try_acquire(self.dev, link_id, replay.pkt.lng):
-                        if self.xbar.inject(link_id, replay):
-                            replay.link_seq = self.flow.on_transmit(
+                for replay in flow.due_replays(self.dev, link_id, cycle):
+                    if flow.try_acquire(self.dev, link_id, replay.pkt.lng):
+                        if xbar.inject(link_id, replay):
+                            replay.link_seq = flow.on_transmit(
                                 self.dev, link_id, replay.pkt.lng, replay
                             )
                         else:
-                            self.flow.refund(self.dev, link_id, replay.pkt.lng)
-                            self.flow.state(self.dev, link_id).replay_queue.append(
-                                (cycle + 1, replay)
-                            )
+                            flow.refund(self.dev, link_id, replay.pkt.lng)
+                            flow.schedule_replay(self.dev, link_id, cycle + 1, replay)
                     else:
-                        self.flow.state(self.dev, link_id).replay_queue.append(
-                            (cycle + 1, replay)
-                        )
-            while True:
-                flight = self.xbar.head_request(link_id)
-                if flight is None:
-                    break
+                        flow.schedule_replay(self.dev, link_id, cycle + 1, replay)
+            queue = rqst_queues[link_id]
+            dq = queue._q
+            while dq:
+                flight = dq[0]
                 if flight.hop_delay > 0:
                     flight.hop_delay -= 1
                     break
                 if (
-                    self.flow is not None
+                    flow is not None
                     and flight.link_seq >= 0
-                    and self.flow.transmission_corrupted(
+                    and flow.transmission_corrupted(
                         self.dev, link_id, flight.link_seq
                     )
                 ):
                     # CRC error at the receiver: drop the packet and
                     # negatively acknowledge — the transmitter will
                     # replay it from the retry buffer (IRTRY).
-                    self.xbar.pop_request(link_id)
-                    self.flow.negative_acknowledge(
+                    xbar.pop_request(link_id)
+                    flow.negative_acknowledge(
                         self.dev, link_id, flight.link_seq, cycle, flight.pkt.tag
                     )
-                    self.tracer.trace_stall(
+                    tracer.trace_stall(
                         cycle, where=f"link{link_id}.retry", dev=self.dev, src=link_id
                     )
                     continue
-                info = command_for_code(flight.pkt.cmd)
-                if info.kind is CommandKind.FLOW:
+                info = flight.info
+                if info is None:
+                    info = flight.info = command_for_code(flight.pkt.cmd)
+                if info.kind is _FLOW:
                     # Flow packets are consumed at the link layer.
-                    self.xbar.pop_request(link_id)
+                    xbar.pop_request(link_id)
                     self.flow_packets += 1
                     self._flow_ack(link_id, flight)
                     continue
-                if flight.pkt.cub != self.dev and self.sim.config.num_devs > 1:
-                    self.xbar.pop_request(link_id)
+                if flight.pkt.cub != self.dev and num_devs > 1:
+                    xbar.pop_request(link_id)
                     self.forwarded_rqsts += 1
                     self._flow_ack(link_id, flight)
                     self.sim.topology.forward_request(self.dev, flight, link_id)
                     continue
-                if self.vaults[flight.vault].push(flight):
-                    self.xbar.pop_request(link_id)
+                if vaults[flight.vault].push(flight):
+                    xbar.pop_request(link_id)
                     self._flow_ack(link_id, flight)
                 else:
-                    self.tracer.trace_stall(
-                        cycle,
-                        where=f"vault{flight.vault}.rqst",
-                        dev=self.dev,
-                        src=link_id,
-                    )
+                    if tracer.mask & _T_STALL:
+                        tracer.trace_stall(
+                            cycle,
+                            where=f"vault{flight.vault}.rqst",
+                            dev=self.dev,
+                            src=link_id,
+                        )
                     break
 
     def _flow_ack(self, link_id: int, flight: Flight) -> None:

@@ -26,7 +26,7 @@ With no model attached the datapath is byte-identical to the baseline
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = ["ErrorModel", "LinkFlowModel", "LinkFlowState", "RetryEvent"]
 
@@ -117,6 +117,11 @@ class LinkFlowModel:
         self.errors = errors
         self._links: Dict[Tuple[int, int], LinkFlowState] = {}
         self.retry_events: List[RetryEvent] = []
+        # dev -> links with a nonempty replay queue.  Maintained by
+        # every replay enqueue/drain so the cycle engine's active-set
+        # scheduler can ask "does this device owe replays?" in O(1)
+        # instead of scanning every link state.
+        self._replay_links: Dict[int, Set[int]] = {}
 
     def state(self, dev: int, link: int) -> LinkFlowState:
         """The transmitter state for one (device, link)."""
@@ -184,7 +189,17 @@ class LinkFlowModel:
         st.tokens = min(self.tokens_per_link, st.tokens + flits)
         st.retries += 1
         st.replay_queue.append((cycle + self.retry_latency, packet))
+        self._replay_links.setdefault(dev, set()).add(link)
         self.retry_events.append(RetryEvent(cycle=cycle, link=link, tag=tag, frp=seq))
+
+    def schedule_replay(
+        self, dev: int, link: int, ready_cycle: int, packet: object
+    ) -> None:
+        """Re-queue a replay that could not re-enter the link this cycle
+        (no tokens, or the crossbar queue was full)."""
+        st = self.state(dev, link)
+        st.replay_queue.append((ready_cycle, packet))
+        self._replay_links.setdefault(dev, set()).add(link)
 
     def due_replays(self, dev: int, link: int, cycle: int) -> List[object]:
         """Packets whose retry latency has elapsed, removed from the queue."""
@@ -193,7 +208,25 @@ class LinkFlowModel:
             return []
         ready = [p for c, p in st.replay_queue if c <= cycle]
         st.replay_queue = [(c, p) for c, p in st.replay_queue if c > cycle]
+        if not st.replay_queue:
+            links = self._replay_links.get(dev)
+            if links is not None:
+                links.discard(link)
+                if not links:
+                    del self._replay_links[dev]
         return ready
+
+    def replay_links(self, dev: int) -> Set[int]:
+        """Links of ``dev`` that currently hold scheduled replays."""
+        return self._replay_links.get(dev) or set()
+
+    def has_pending_replays(self) -> bool:
+        """True when any link of any device holds a scheduled replay.
+
+        The public form of the drain-idle check — callers must not
+        reach into the per-link state dictionary.
+        """
+        return bool(self._replay_links)
 
     # -- statistics ------------------------------------------------------------
 

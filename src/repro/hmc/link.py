@@ -38,11 +38,19 @@ class Link:
         """Make a response visible to ``recv`` on this link."""
         self.retired.append(rsp)
         self.rsps_out += 1
-        self.flits_out += rsp.lng
+        self.flits_out += 1 + len(rsp.data) // 16  # rsp.lng, inlined
 
     def recv(self) -> Optional[ResponsePacket]:
         """Pop the oldest retired response, or None."""
         return self.retired.popleft() if self.retired else None
+
+    def drain_ready(self) -> bool:
+        """True when retired responses are waiting for the host.
+
+        O(1) peek used by host engines to skip the ``recv`` call (and
+        its context bookkeeping) on links with nothing to collect.
+        """
+        return bool(self.retired)
 
     def pending_responses(self) -> int:
         """Responses retired but not yet collected by the host."""

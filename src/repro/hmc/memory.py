@@ -51,6 +51,14 @@ class MemoryBackend:
     def read(self, addr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``addr`` (zero-fill for cold pages)."""
         self._check(addr, nbytes)
+        off = addr & _PAGE_MASK
+        if off + nbytes <= PAGE_SIZE:
+            # Fast path: the access stays within one page (every
+            # packet-sized access — pages are 4 KiB, packets <= 256 B).
+            page = self._pages.get(addr >> 12)
+            if page is None:
+                return bytes(nbytes)
+            return bytes(page[off : off + nbytes])
         out = bytearray()
         while nbytes > 0:
             page_no, off = addr >> 12, addr & _PAGE_MASK
@@ -67,8 +75,17 @@ class MemoryBackend:
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` starting at ``addr``."""
         self._check(addr, len(data))
-        pos = 0
         nbytes = len(data)
+        off = addr & _PAGE_MASK
+        if off + nbytes <= PAGE_SIZE:
+            page_no = addr >> 12
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_no] = page
+            page[off : off + nbytes] = data
+            return
+        pos = 0
         while pos < nbytes:
             page_no, off = addr >> 12, addr & _PAGE_MASK
             take = min(nbytes - pos, PAGE_SIZE - off)
@@ -170,12 +187,34 @@ class MemoryView:
     def read(self, addr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` at view-local ``addr``."""
         self._check(addr, nbytes)
-        return self._backend.read(self._base + addr, nbytes)
+        # The view bounds check guarantees the rebased access is inside
+        # the backend, so go straight at the page store (single-page
+        # fast path) instead of re-checking through backend.read.
+        a = self._base + addr
+        off = a & _PAGE_MASK
+        if off + nbytes <= PAGE_SIZE:
+            page = self._backend._pages.get(a >> 12)
+            if page is None:
+                return bytes(nbytes)
+            return bytes(page[off : off + nbytes])
+        return self._backend.read(a, nbytes)
 
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` at view-local ``addr``."""
-        self._check(addr, len(data))
-        self._backend.write(self._base + addr, data)
+        nbytes = len(data)
+        self._check(addr, nbytes)
+        a = self._base + addr
+        off = a & _PAGE_MASK
+        if off + nbytes <= PAGE_SIZE:
+            backend = self._backend
+            page_no = a >> 12
+            page = backend._pages.get(page_no)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                backend._pages[page_no] = page
+            page[off : off + nbytes] = data
+            return
+        self._backend.write(a, data)
 
     def read_u64(self, addr: int) -> int:
         """Read an unsigned 64-bit value."""

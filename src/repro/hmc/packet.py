@@ -52,7 +52,8 @@ Response tail::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import HMCPacketError
 from repro.hmc import crc as _crc
@@ -70,6 +71,7 @@ __all__ = [
     "RequestPacket",
     "ResponsePacket",
     "pack_data",
+    "pack_data_cached",
     "unpack_data",
     "field_get",
     "field_set",
@@ -125,7 +127,99 @@ def unpack_data(words: Sequence[int]) -> bytes:
     return b"".join((w & _U64).to_bytes(8, "little") for w in words)
 
 
-@dataclass
+@lru_cache(maxsize=2048)
+def pack_data_cached(data: bytes) -> Tuple[int, ...]:
+    """Memoized :func:`pack_data` returning an immutable word tuple.
+
+    Spin-heavy workloads (the paper's mutex sweep) rebuild identical
+    payloads millions of times; the cache makes the per-request payload
+    split free after the first occurrence.
+    """
+    return tuple(pack_data(data))
+
+
+# ---------------------------------------------------------------------------
+# Memoized wire-form builders.
+#
+# A packet's wire form (head word, data words, CRC-carrying tail word) is a
+# pure function of its wire fields, so it is computed once per distinct
+# field combination and shared.  The builders are keyed on *every* wire
+# field — mutating a packet simply selects a different cache line — and the
+# Koopman CRC-32 is computed exactly once per combination, which is what
+# turns ``check_crc`` verification and CMC head/tail materialization from a
+# per-packet cost into a cache hit.  field_set is retained so out-of-range
+# field values raise the same HMCPacketError as the unmemoized encoders
+# (exceptions are never cached by lru_cache).
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def _rqst_wire(
+    cmd: int,
+    tag: int,
+    addr: int,
+    cub: int,
+    data: bytes,
+    rrp: int,
+    frp: int,
+    seq: int,
+    pb: int,
+    slid: int,
+    rtc: int,
+) -> Tuple[int, Tuple[int, ...], int]:
+    lng = 1 + len(data) // FLIT_BYTES
+    head = 0
+    head = field_set(head, 0, 7, cmd)
+    head = field_set(head, 7, 5, lng)
+    head = field_set(head, 12, 11, tag)
+    head = field_set(head, 24, 34, addr & ADDR_MASK)
+    head = field_set(head, 61, 3, cub)
+    tail = 0
+    tail = field_set(tail, 0, 9, rrp)
+    tail = field_set(tail, 9, 9, frp)
+    tail = field_set(tail, 18, 3, seq)
+    tail = field_set(tail, 21, 1, pb)
+    tail = field_set(tail, 22, 3, slid)
+    tail = field_set(tail, 29, 3, rtc)
+    words = pack_data(data)
+    crc = _crc.packet_crc([head] + words + [tail])
+    return head, tuple(words), field_set(tail, 32, 32, crc)
+
+
+@lru_cache(maxsize=4096)
+def _rsp_wire(
+    cmd: int,
+    tag: int,
+    cub: int,
+    slid: int,
+    data: bytes,
+    rrp: int,
+    frp: int,
+    seq: int,
+    dinv: int,
+    errstat: int,
+    rtc: int,
+) -> Tuple[int, Tuple[int, ...], int]:
+    lng = 1 + len(data) // FLIT_BYTES
+    head = 0
+    head = field_set(head, 0, 7, cmd)
+    head = field_set(head, 7, 5, lng)
+    head = field_set(head, 12, 11, tag)
+    head = field_set(head, 23, 3, slid)
+    head = field_set(head, 61, 3, cub)
+    tail = 0
+    tail = field_set(tail, 0, 9, rrp)
+    tail = field_set(tail, 9, 9, frp)
+    tail = field_set(tail, 18, 3, seq)
+    tail = field_set(tail, 21, 1, dinv)
+    tail = field_set(tail, 22, 7, errstat)
+    tail = field_set(tail, 29, 3, rtc)
+    words = pack_data(data)
+    crc = _crc.packet_crc([head] + words + [tail])
+    return head, tuple(words), field_set(tail, 32, 32, crc)
+
+
+@dataclass(slots=True)
 class RequestPacket:
     """A decoded HMC request packet.
 
@@ -209,33 +303,62 @@ class RequestPacket:
         """The request enum member for this packet's command code."""
         return hmc_rqst_t(self.cmd)
 
+    def _wire(self) -> Tuple[int, Tuple[int, ...], int]:
+        """(head, data words, tail) from the memoized wire builder."""
+        return _rqst_wire(
+            self.cmd,
+            self.tag,
+            self.addr,
+            self.cub,
+            self.data,
+            self.rrp,
+            self.frp,
+            self.seq,
+            self.pb,
+            self.slid,
+            self.rtc,
+        )
+
     def head(self) -> int:
         """Encode the 64-bit request header."""
-        w = 0
-        w = field_set(w, 0, 7, self.cmd)
-        w = field_set(w, 7, 5, self.lng)
-        w = field_set(w, 12, 11, self.tag)
-        w = field_set(w, 24, 34, self.addr & ADDR_MASK)
-        w = field_set(w, 61, 3, self.cub)
-        return w
+        return self._wire()[0]
 
     def tail(self, crc: Optional[int] = None) -> int:
         """Encode the 64-bit request tail (CRC computed unless given)."""
-        w = 0
-        w = field_set(w, 0, 9, self.rrp)
-        w = field_set(w, 9, 9, self.frp)
-        w = field_set(w, 18, 3, self.seq)
-        w = field_set(w, 21, 1, self.pb)
-        w = field_set(w, 22, 3, self.slid)
-        w = field_set(w, 29, 3, self.rtc)
-        if crc is None:
-            words = [self.head()] + pack_data(self.data) + [w]
-            crc = _crc.packet_crc(words)
-        return field_set(w, 32, 32, crc)
+        if crc is not None:
+            w = 0
+            w = field_set(w, 0, 9, self.rrp)
+            w = field_set(w, 9, 9, self.frp)
+            w = field_set(w, 18, 3, self.seq)
+            w = field_set(w, 21, 1, self.pb)
+            w = field_set(w, 22, 3, self.slid)
+            w = field_set(w, 29, 3, self.rtc)
+            return field_set(w, 32, 32, crc)
+        return self._wire()[2]
 
     def encode(self) -> List[int]:
         """Encode the full packet as ``2*lng`` 64-bit words."""
-        return [self.head()] + pack_data(self.data) + [self.tail()]
+        head, data_words, tail = self._wire()
+        return [head, *data_words, tail]
+
+    def verify_crc(self) -> None:
+        """Recompute the packet CRC and check it against the tail.
+
+        Equivalent to ``RequestPacket.decode(pkt.encode(),
+        check_crc=True)`` but verifies the already-encoded words
+        directly instead of paying a full encode→decode round trip.
+
+        Raises:
+            HMCPacketError: on CRC mismatch.
+        """
+        head, data_words, tail = self._wire()
+        want = _crc.packet_crc([head, *data_words, tail])
+        got = field_get(tail, 32, 32)
+        if want != got:
+            raise HMCPacketError(
+                f"request CRC mismatch: packet carries {got:#010x}, "
+                f"computed {want:#010x}"
+            )
 
     @classmethod
     def decode(cls, words: Sequence[int], *, check_crc: bool = False) -> "RequestPacket":
@@ -278,7 +401,7 @@ class RequestPacket:
         return pkt
 
 
-@dataclass
+@dataclass(slots=True)
 class ResponsePacket:
     """A decoded HMC response packet."""
 
@@ -317,33 +440,62 @@ class ResponsePacket:
         except ValueError:
             return None
 
+    def _wire(self) -> Tuple[int, Tuple[int, ...], int]:
+        """(head, data words, tail) from the memoized wire builder."""
+        return _rsp_wire(
+            self.cmd,
+            self.tag,
+            self.cub,
+            self.slid,
+            self.data,
+            self.rrp,
+            self.frp,
+            self.seq,
+            self.dinv,
+            self.errstat,
+            self.rtc,
+        )
+
     def head(self) -> int:
         """Encode the 64-bit response header."""
-        w = 0
-        w = field_set(w, 0, 7, self.cmd)
-        w = field_set(w, 7, 5, self.lng)
-        w = field_set(w, 12, 11, self.tag)
-        w = field_set(w, 23, 3, self.slid)
-        w = field_set(w, 61, 3, self.cub)
-        return w
+        return self._wire()[0]
 
     def tail(self, crc: Optional[int] = None) -> int:
         """Encode the 64-bit response tail (CRC computed unless given)."""
-        w = 0
-        w = field_set(w, 0, 9, self.rrp)
-        w = field_set(w, 9, 9, self.frp)
-        w = field_set(w, 18, 3, self.seq)
-        w = field_set(w, 21, 1, self.dinv)
-        w = field_set(w, 22, 7, self.errstat)
-        w = field_set(w, 29, 3, self.rtc)
-        if crc is None:
-            words = [self.head()] + pack_data(self.data) + [w]
-            crc = _crc.packet_crc(words)
-        return field_set(w, 32, 32, crc)
+        if crc is not None:
+            w = 0
+            w = field_set(w, 0, 9, self.rrp)
+            w = field_set(w, 9, 9, self.frp)
+            w = field_set(w, 18, 3, self.seq)
+            w = field_set(w, 21, 1, self.dinv)
+            w = field_set(w, 22, 7, self.errstat)
+            w = field_set(w, 29, 3, self.rtc)
+            return field_set(w, 32, 32, crc)
+        return self._wire()[2]
 
     def encode(self) -> List[int]:
         """Encode the full packet as ``2*lng`` 64-bit words."""
-        return [self.head()] + pack_data(self.data) + [self.tail()]
+        head, data_words, tail = self._wire()
+        return [head, *data_words, tail]
+
+    def verify_crc(self) -> None:
+        """Recompute the packet CRC and check it against the tail.
+
+        Equivalent to ``ResponsePacket.decode(rsp.encode(),
+        check_crc=True)`` but verifies the already-encoded words
+        directly instead of paying a full encode→decode round trip.
+
+        Raises:
+            HMCPacketError: on CRC mismatch.
+        """
+        head, data_words, tail = self._wire()
+        want = _crc.packet_crc([head, *data_words, tail])
+        got = field_get(tail, 32, 32)
+        if want != got:
+            raise HMCPacketError(
+                f"response CRC mismatch: packet carries {got:#010x}, "
+                f"computed {want:#010x}"
+            )
 
     @classmethod
     def decode(

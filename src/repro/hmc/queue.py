@@ -46,13 +46,15 @@ class StallQueue(Generic[T]):
 
     def push(self, item: T) -> bool:
         """Append ``item``; return False (and count a stall) if full."""
-        if len(self._q) >= self.depth:
+        q = self._q
+        n = len(q) + 1
+        if n > self.depth:
             self.stalls += 1
             return False
-        self._q.append(item)
+        q.append(item)
         self.pushes += 1
-        if len(self._q) > self.high_water:
-            self.high_water = len(self._q)
+        if n > self.high_water:
+            self.high_water = n
         return True
 
     def pop(self) -> Optional[T]:
@@ -91,6 +93,17 @@ class StallQueue(Generic[T]):
 
     def __iter__(self) -> Iterator[T]:
         return iter(self._q)
+
+    @property
+    def raw(self) -> Deque[T]:
+        """The underlying deque, for allocation-free hot-path scans.
+
+        The cycle engine's vault scan rotates this deque in place
+        instead of copying the queue every cycle; callers mutating it
+        directly are responsible for keeping the push/pop counters
+        consistent (see :meth:`repro.hmc.vault.Vault.step`).
+        """
+        return self._q
 
     @property
     def full(self) -> bool:

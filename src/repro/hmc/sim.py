@@ -33,7 +33,12 @@ from repro.core.cmc import CMCOperation, CMCRegistry
 from repro.core.loader import load_cmc as _load_cmc_plugin
 from repro.errors import HMCPacketError, HMCSimError, HMCStatus, TagError
 from repro.hmc.addrmap import AddressMap
-from repro.hmc.commands import CommandKind, command_info, hmc_rqst_t
+from repro.hmc.commands import (
+    COMMAND_TABLE,
+    CommandKind,
+    command_info,
+    hmc_rqst_t,
+)
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import Device
 from repro.hmc.flow import LinkFlowModel
@@ -92,7 +97,12 @@ class HMCSim:
         self.topology = Topology(self, kind=topology_kind)
         self._cycle = 0
         self._strict_tags = strict_tags
-        self._outstanding: Set[Tuple[int, int]] = set()
+        #: Outstanding (cub, tag) pairs, packed as ``(cub << 11) | tag``
+        #: — the tag field is 11 bits, so the packing is collision-free
+        #: and avoids a tuple allocation per send/recv.
+        self._outstanding: Set[int] = set()
+        #: cmd code -> expects-a-response, invalidated on CMC load.
+        self._expects_cache: Dict[int, bool] = {}
         self._initialized = True
         # Aggregate counters.
         self.sent_rqsts = 0
@@ -133,6 +143,9 @@ class HMCSim:
         self._check_init()
         op = _load_cmc_plugin(source)
         self.cmc.register(op)
+        # Registering an op can change whether its command code expects
+        # a response (posted CMC ops), so drop the memoized answers.
+        self._expects_cache.clear()
         return op
 
     # -- request construction (hmcsim_build_memrequest) ---------------------------
@@ -156,10 +169,12 @@ class HMCSim:
             CMCNotActiveError: a CMC command with no loaded operation.
         """
         self._check_init()
-        info = command_info(rqst)
+        # IntEnum members hash like their value: same KeyError contract
+        # as command_info(rqst), minus the int() conversion per call.
+        info = COMMAND_TABLE[rqst]
         rqst_flits: Optional[int] = None
         if info.kind is CommandKind.CMC:
-            rqst_flits = self.cmc.get(int(rqst)).registration.rqst_len
+            rqst_flits = self.cmc.get(rqst).registration.rqst_len
         return RequestPacket.build(
             rqst, addr, tag, cub=cub, data=data, rqst_flits=rqst_flits
         )
@@ -167,14 +182,24 @@ class HMCSim:
     # -- host traffic (hmcsim_send / hmcsim_recv) -----------------------------------
 
     def _expects_response(self, pkt: RequestPacket) -> bool:
-        info = command_info(hmc_rqst_t(pkt.cmd))
-        if info.kind is CommandKind.FLOW:
-            return False
+        cmd = pkt.cmd
+        cached = self._expects_cache.get(cmd)
+        if cached is not None:
+            return cached
+        info = command_info(hmc_rqst_t(cmd))
         if info.kind is CommandKind.CMC:
-            op = self.cmc.lookup(pkt.cmd)
-            # Unregistered CMC commands yield an RSP_ERROR response.
-            return True if op is None else not op.registration.posted
-        return not info.posted
+            op = self.cmc.lookup(cmd)
+            if op is None:
+                # Unregistered CMC commands yield an RSP_ERROR response.
+                # Not cached: the op may be registered later.
+                return True
+            expects = not op.registration.posted
+        elif info.kind is CommandKind.FLOW:
+            expects = False
+        else:
+            expects = not info.posted
+        self._expects_cache[cmd] = expects
+        return expects
 
     def send(self, pkt: RequestPacket, *, dev: int = 0, link: int = 0) -> HMCStatus:
         """Inject a request into a device link.
@@ -191,8 +216,10 @@ class HMCSim:
         self._check_init()
         if not 0 <= dev < self.config.num_devs:
             raise HMCSimError(f"no device {dev} in this context")
-        expects = self._expects_response(pkt)
-        key = (pkt.cub, pkt.tag)
+        expects = self._expects_cache.get(pkt.cmd)
+        if expects is None:
+            expects = self._expects_response(pkt)
+        key = (pkt.cub << 11) | pkt.tag
         if self._strict_tags and expects and key in self._outstanding:
             raise TagError(
                 f"tag {pkt.tag} is already outstanding on cube {pkt.cub}"
@@ -209,26 +236,52 @@ class HMCSim:
     def recv(self, *, dev: int = 0, link: int = 0) -> Optional[ResponsePacket]:
         """Collect the oldest retired response on a device link, or None."""
         self._check_init()
-        rsp = self.devices[dev].recv(link)
+        rsp = self.devices[dev].links[link].recv()
         if rsp is not None:
             self.recvd_rsps += 1
-            self._outstanding.discard((rsp.cub, rsp.tag))
+            self._outstanding.discard((rsp.cub << 11) | rsp.tag)
             if self.config.check_crc:
-                ResponsePacket.decode(rsp.encode(), check_crc=True)
+                rsp.verify_crc()
         return rsp
 
     # -- time (hmcsim_clock) -----------------------------------------------------
 
     def clock(self, cycles: int = 1) -> int:
-        """Advance the whole context by ``cycles`` device cycles."""
+        """Advance the whole context by ``cycles`` device cycles.
+
+        When nothing is in flight anywhere (no active vault, empty
+        crossbars, no in-transit chain traffic, no scheduled replays)
+        the remaining cycles are an idle fast-forward: ``_cycle``
+        advances without running the per-device phases, which are all
+        no-ops on empty structures.  The check runs per iteration, so
+        work injected mid-``clock`` (none today — hosts inject between
+        calls) would still be honoured cycle-accurately.
+        """
         self._check_init()
-        for _ in range(cycles):
-            for device in self.devices:
+        multi = self.config.num_devs > 1
+        devices = self.devices
+        for i in range(cycles):
+            if self._quiescent():
+                self._cycle += cycles - i
+                break
+            for device in devices:
                 device.clock(self._cycle)
-            if self.config.num_devs > 1:
+            if multi:
                 self.topology.clock(self._cycle)
             self._cycle += 1
         return self._cycle
+
+    def _quiescent(self) -> bool:
+        """O(active) idle test used by :meth:`idle` and the fast-forward."""
+        if self.topology.in_transit:
+            return False
+        flow = self.flow
+        if flow is not None and flow.has_pending_replays():
+            return False
+        for device in self.devices:
+            if device.busy():
+                return False
+        return True
 
     def drain(self, *, max_cycles: int = 100_000) -> int:
         """Clock until no request or response remains in flight.
@@ -247,20 +300,14 @@ class HMCSim:
         raise HMCSimError(f"context did not drain within {max_cycles} cycles")
 
     def idle(self) -> bool:
-        """True when no packet is queued anywhere in the context."""
-        if self.topology.in_transit:
-            return False
-        if self.flow is not None:
-            for st in self.flow._links.values():
-                if st.replay_queue:
-                    return False
-        for device in self.devices:
-            if device.xbar.occupancy():
-                return False
-            for vault in device.vaults:
-                if vault.rqst_queue or vault._pending_rsp is not None:
-                    return False
-        return True
+        """True when no packet is queued anywhere in the context.
+
+        O(active): topology transit count, the flow model's public
+        replay index (:meth:`LinkFlowModel.has_pending_replays`), and
+        each device's O(1) :meth:`Device.busy` check — no scan over
+        queues or vaults.
+        """
+        return self._quiescent()
 
     # -- tracing (hmcsim_trace_*) ---------------------------------------------------
 

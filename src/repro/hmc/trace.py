@@ -79,6 +79,19 @@ class Tracer:
 
     # -- configuration (mirrors hmcsim_trace_handle / hmcsim_trace_level) ---
 
+    @property
+    def level(self) -> TraceLevel:
+        """The enabled-category bitmask."""
+        return self._level
+
+    @level.setter
+    def level(self, value: TraceLevel) -> None:
+        self._level = TraceLevel(value)
+        #: Plain-int mirror of the level: hot paths gate on
+        #: ``tracer.mask & CATEGORY`` — an int bit test is several times
+        #: cheaper than an IntFlag operation.
+        self.mask = int(self._level)
+
     def set_handle(self, handle: Optional[IO[str]]) -> None:
         """Attach or detach an output stream."""
         self.handle = handle
@@ -89,13 +102,13 @@ class Tracer:
 
     def enabled(self, level: TraceLevel) -> bool:
         """True if events of ``level`` are currently recorded."""
-        return bool(self.level & level)
+        return bool(self.mask & int(level))
 
     # -- emission ------------------------------------------------------------
 
     def emit(self, level: TraceLevel, cycle: int, **fields: object) -> None:
         """Record an event if its category is enabled."""
-        if not self.level & level:
+        if not self.mask & level:
             return
         ev = TraceEvent(level, cycle, **fields)
         self.counts[level.name] = self.counts.get(level.name, 0) + 1

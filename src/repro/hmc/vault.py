@@ -23,7 +23,7 @@ Execution dispatch order, mirroring the paper's Figure 3:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.errors import (
     CMCExecutionError,
@@ -34,9 +34,14 @@ from repro.errors import (
 from repro.hmc.amo import execute_amo, is_amo
 from repro.hmc.bank import Bank
 from repro.hmc.commands import CommandKind, command_for_code, hmc_response_t
-from repro.hmc.packet import RequestPacket, ResponsePacket, pack_data
+from repro.hmc.packet import RequestPacket, ResponsePacket, pack_data_cached
 from repro.hmc.queue import StallQueue
+from repro.hmc.trace import TraceLevel
 from repro.hmc.xbar import Flight
+
+_T_BANK = int(TraceLevel.BANK)
+_T_CMD = int(TraceLevel.CMD)
+_T_STALL = int(TraceLevel.STALL)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hmc.device import Device
@@ -71,10 +76,32 @@ class Vault:
         self.processed = 0
         self.bank_conflicts = 0
         self.response_stalls = 0
+        # A response that could not enter the crossbar queue waits here
+        # and blocks the vault until it is accepted (head-of-line
+        # blocking).
+        self._pending_rsp: Optional[Tuple[Flight, ResponsePacket]] = None
+        # The owning device's active-vault set (None for standalone
+        # vaults); every successful push marks this vault schedulable.
+        self._sched: Optional[Set[int]] = None
 
     def push(self, flight: Flight) -> bool:
-        """Enqueue a routed request; False on stall (queue full)."""
-        return self.rqst_queue.push(flight)
+        """Enqueue a routed request; False on stall (queue full).
+
+        ``StallQueue.push`` inlined (same counters and high-water
+        semantics): one call per request on the crossbar drain path.
+        """
+        q = self.rqst_queue
+        n = len(q._q) + 1
+        if n > q.depth:
+            q.stalls += 1
+            return False
+        q._q.append(flight)
+        q.pushes += 1
+        if n > q.high_water:
+            q.high_water = n
+        if self._sched is not None:
+            self._sched.add(self.index)
+        return True
 
     def step(self, device: "Device", cycle: int) -> None:
         """Process the request queue for this cycle.
@@ -95,62 +122,96 @@ class Vault:
 
         The scan stops when the vault's per-cycle response budget is
         exhausted or the response path fills.
+
+        The walk is an allocation-free snapshot-scan: instead of
+        copying the queue (``list(self.rqst_queue)``, one list per
+        vault per cycle), it visits the head-of-deque ``n`` times,
+        rotating kept entries to the back and popping processed ones.
+        After a full scan the kept entries are back in FIFO order; an
+        early exit rotates them back explicitly.  Final queue content,
+        ordering, and push/pop counters are identical to the copying
+        scan.
         """
-        rsp_budget = device.config.vault_rsp_rate
-        if self.rqst_queue.empty:
+        queue = self.rqst_queue
+        dq = queue._q
+        n0 = len(dq)
+        if n0 == 0:
             return
-        for flight in list(self.rqst_queue):
+        rsp_budget = device.config.vault_rsp_rate
+        banks = self.banks
+        xbar = device.xbar
+        tracer = device.sim.tracer
+        tmask = tracer.mask
+        visited = 0
+        kept = 0
+        while visited < n0:
             if rsp_budget <= 0:
                 # The vault's response port is exhausted for this
                 # cycle; remaining requests wait in the queue.
+                if kept:
+                    dq.rotate(kept)
                 return
-            bank = self.banks[flight.bank]
+            flight = dq[0]
+            bank = banks[flight.bank]
             if flight.service_until < 0:
-                if not bank.available(cycle):
-                    bank.record_conflict()
+                if cycle < bank.busy_until:
+                    bank.conflicts += 1
                     self.bank_conflicts += 1
-                    device.tracer.trace_bank_conflict(
-                        cycle,
-                        dev=self.dev,
-                        quad=self.quad,
-                        vault=self.index,
-                        bank=flight.bank,
-                        addr=flight.pkt.addr,
-                    )
+                    if tmask & _T_BANK:
+                        tracer.trace_bank_conflict(
+                            cycle,
+                            dev=self.dev,
+                            quad=self.quad,
+                            vault=self.index,
+                            bank=flight.bank,
+                            addr=flight.pkt.addr,
+                        )
+                    dq.rotate(-1)
+                    kept += 1
+                    visited += 1
                     continue
                 busy = _occupy(device, bank, cycle, flight)
                 if busy > 0:
                     # Timing model: the request holds the bank and its
                     # response is produced when service completes.
                     flight.service_until = cycle + busy
+                    dq.rotate(-1)
+                    kept += 1
+                    visited += 1
                     continue
             elif cycle < flight.service_until:
-                continue  # DRAM access still in progress
+                # DRAM access still in progress.
+                dq.rotate(-1)
+                kept += 1
+                visited += 1
+                continue
 
             rsp = process_rqst(device, flight, cycle)
 
             if rsp is not None:
-                if not device.xbar.push_response(flight.src_link, rsp):
+                if not xbar.push_response(flight.src_link, rsp):
                     # Response path full.  The memory side effect has
                     # already happened, so hold the *response* (not the
                     # request) and block the vault until it is accepted.
                     self.response_stalls += 1
-                    device.tracer.trace_stall(
-                        cycle,
-                        where=f"vault{self.index}.rsp",
-                        dev=self.dev,
-                        src=flight.src_link,
-                    )
+                    if tmask & _T_STALL:
+                        tracer.trace_stall(
+                            cycle,
+                            where=f"vault{self.index}.rsp",
+                            dev=self.dev,
+                            src=flight.src_link,
+                        )
                     self._pending_rsp = (flight, rsp)
-                    self.rqst_queue.remove(flight)
+                    dq.popleft()
+                    queue.pops += 1
+                    if kept:
+                        dq.rotate(kept)
                     return
                 rsp_budget -= 1
-            self.rqst_queue.remove(flight)
+            dq.popleft()
+            queue.pops += 1
             self.processed += 1
-
-    # A response that could not enter the crossbar queue waits here and
-    # blocks the vault until it is accepted (head-of-line blocking).
-    _pending_rsp: Optional[tuple] = None
+            visited += 1
 
     def flush_pending(self, device: "Device", cycle: int) -> bool:
         """Retry a blocked response push.  Returns True when unblocked."""
@@ -192,13 +253,15 @@ def process_rqst(
     and dropped) so a misbehaving request cannot wedge the simulation.
     """
     pkt: RequestPacket = flight.pkt
-    info = command_for_code(pkt.cmd)
-    vault = device.vaults[flight.vault]
-    bank = vault.banks[flight.bank]
-    op_name = info.rqst.name
+    info = flight.info
+    if info is None:
+        # Manually built flights (tests, external drivers) have no
+        # precomputed routing; resolve and cache it now.
+        info = flight.info = command_for_code(pkt.cmd)
+    op_name: Optional[str] = None  # resolved lazily (tracing/power only)
     mem = device  # device provides mem_read/mem_write with bounds checks
 
-    rsp_cmd: int = int(info.rsp_cmd) if info.rsp_cmd is not hmc_response_t.RSP_NONE else 0
+    rsp_cmd: int = info.rsp_cmd_code
     rsp_data = b""
     errstat = 0
     posted = info.posted
@@ -209,6 +272,7 @@ def process_rqst(
             return None
 
         if info.kind is CommandKind.CMC:
+            wire = pkt._wire()  # one memoized encode: head and tail together
             op, rsp_data, rsp_cmd = device.cmc.execute(
                 device.sim,
                 dev=device.dev,
@@ -217,9 +281,9 @@ def process_rqst(
                 bank=flight.bank,
                 addr=pkt.addr,
                 length=pkt.lng,
-                head=pkt.head(),
-                tail=pkt.tail(),
-                rqst_payload=pack_data(pkt.data),
+                head=wire[0],
+                tail=wire[2],
+                rqst_payload=pack_data_cached(pkt.data),
             )
             op_name = op.cmc_str()
             posted = op.registration.posted
@@ -228,7 +292,7 @@ def process_rqst(
         elif info.kind in (CommandKind.WRITE, CommandKind.POSTED_WRITE):
             mem.mem_write(pkt.addr, pkt.data)
         elif info.kind is CommandKind.MODE:
-            if info.rqst.name == "MD_RD":
+            if info.rqst_name == "MD_RD":
                 value = device.registers.read(pkt.addr)
                 rsp_data = value.to_bytes(8, "little") + bytes(8)
             else:  # MD_WR
@@ -252,21 +316,27 @@ def process_rqst(
     except HMCSimError:
         return None if posted else _error_response(device, flight, ERRSTAT_GENERIC)
 
-    device.tracer.trace_rqst(
-        cycle,
-        op=op_name,
-        dev=device.dev,
-        quad=flight.quad,
-        vault=flight.vault,
-        bank=flight.bank,
-        addr=pkt.addr,
-        length=pkt.lng,
-    )
+    tracer = device.sim.tracer
+    if tracer.mask & _T_CMD:
+        if op_name is None:
+            op_name = info.rqst_name
+        tracer.trace_rqst(
+            cycle,
+            op=op_name,
+            dev=device.dev,
+            quad=flight.quad,
+            vault=flight.vault,
+            bank=flight.bank,
+            addr=pkt.addr,
+            length=pkt.lng,
+        )
     if device.power is not None:
+        if op_name is None:
+            op_name = info.rqst_name
         rsp_flits = 1 + len(rsp_data) // 16 if not posted else 0
         pj = device.power.request_energy(info, pkt.lng, rsp_flits)
         device.power_report.add(op_name, pj)
-        device.tracer.trace_power(cycle, op=op_name, energy_pj=pj)
+        tracer.trace_power(cycle, op=op_name, energy_pj=pj)
 
     if posted:
         return None
@@ -294,13 +364,15 @@ def _occupy(device: "Device", bank: Bank, cycle: int, flight: Flight) -> int:
     being queueing-dominated; the timing extension makes banks hold
     state across cycles, delaying responses and producing conflicts).
     """
-    from repro.hmc.commands import command_for_code as _cfc
-
     if device.timing is None:
         bank.occupy(cycle, 0, -1, True)
         return 0
-    info = _cfc(flight.pkt.cmd)
-    row = device.row_of(flight.pkt.addr)
+    info = flight.info
+    if info is None:
+        info = flight.info = command_for_code(flight.pkt.cmd)
+    row = flight.row
+    if row < 0:
+        row = flight.row = device.row_of(flight.pkt.addr)
     busy = device.timing.request_cycles(info, bank.open_row, row)
     row_hit = bank.open_row == row
     bank.occupy(cycle, busy, row, row_hit)

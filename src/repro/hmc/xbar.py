@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.hmc.commands import CommandInfo
 from repro.hmc.config import HMCConfig
 from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.queue import StallQueue
@@ -31,7 +32,7 @@ from repro.hmc.queue import StallQueue
 __all__ = ["Flight", "XBar"]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Flight:
     """A request in flight through one device, with routing metadata.
 
@@ -56,6 +57,12 @@ class Flight:
     service_until: int = field(default=-1, compare=False)
     #: Chain hops consumed reaching this device (multi-device topologies).
     chain_hops: int = field(default=0, compare=False)
+    #: Command metadata, resolved once at inject time so the drain and
+    #: execute phases never re-run the command-table lookup.
+    info: Optional[CommandInfo] = field(default=None, compare=False)
+    #: Row coordinate of the target address, decoded once at inject time
+    #: (bank timing; -1 = not precomputed, resolve lazily).
+    row: int = field(default=-1, compare=False)
 
 
 class XBar:
@@ -72,6 +79,11 @@ class XBar:
             StallQueue(config.xbar_depth, f"dev{dev}.link{l}.xbar_rsp")
             for l in range(config.num_links)
         ]
+        # O(1) occupancy counters maintained by every queue mutation
+        # below: the active-set scheduler's "is this crossbar idle?"
+        # check must not scan 2 * num_links queues per cycle.
+        self.rqst_occ = 0
+        self.rsp_occ = 0
 
     # -- host side -----------------------------------------------------------
 
@@ -81,13 +93,35 @@ class XBar:
         Returns False when the queue is full (the ``HMC_STALL`` case of
         ``hmcsim_send``).
         """
-        return self.rqst_queues[link].push(flight)
+        # StallQueue.push inlined (same counters/high-water semantics):
+        # one call per injected packet on the host's send hot path.
+        q = self.rqst_queues[link]
+        n = len(q._q) + 1
+        if n > q.depth:
+            q.stalls += 1
+            return False
+        q._q.append(flight)
+        q.pushes += 1
+        if n > q.high_water:
+            q.high_water = n
+        self.rqst_occ += 1
+        return True
 
     # -- device side -----------------------------------------------------------
 
     def push_response(self, link: int, rsp: ResponsePacket) -> bool:
         """Queue a completed response toward its source link."""
-        return self.rsp_queues[link].push(rsp)
+        q = self.rsp_queues[link]
+        n = len(q._q) + 1
+        if n > q.depth:
+            q.stalls += 1
+            return False
+        q._q.append(rsp)
+        q.pushes += 1
+        if n > q.high_water:
+            q.high_water = n
+        self.rsp_occ += 1
+        return True
 
     def head_request(self, link: int) -> Optional[Flight]:
         """Peek the head of a link's request queue."""
@@ -95,15 +129,22 @@ class XBar:
 
     def pop_request(self, link: int) -> Optional[Flight]:
         """Pop the head of a link's request queue."""
-        return self.rqst_queues[link].pop()
+        flight = self.rqst_queues[link].pop()
+        if flight is not None:
+            self.rqst_occ -= 1
+        return flight
 
     def unpop_request(self, link: int, flight: Flight) -> None:
         """Undo a pop after a downstream stall (entry keeps its place)."""
         self.rqst_queues[link].requeue_head(flight)
+        self.rqst_occ += 1
 
     def pop_response(self, link: int) -> Optional[ResponsePacket]:
         """Pop the head of a link's response queue (for retirement)."""
-        return self.rsp_queues[link].pop()
+        rsp = self.rsp_queues[link].pop()
+        if rsp is not None:
+            self.rsp_occ -= 1
+        return rsp
 
     # -- statistics -----------------------------------------------------------
 
@@ -115,6 +156,4 @@ class XBar:
 
     def occupancy(self) -> int:
         """Entries currently queued across all crossbar queues."""
-        return sum(len(q) for q in self.rqst_queues) + sum(
-            len(q) for q in self.rsp_queues
-        )
+        return self.rqst_occ + self.rsp_occ

@@ -20,6 +20,7 @@ MIN/MAX/AVG statistics (§V.B: MIN_CYCLE, MAX_CYCLE, AVG_CYCLE).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import HMCSimError, HMCStatus
@@ -27,6 +28,9 @@ from repro.hmc.sim import HMCSim
 from repro.host.thread import Program, SimThread, ThreadCtx, ThreadState
 
 __all__ = ["HostEngine", "EngineResult", "ThreadResult"]
+
+#: Sort key restoring the seed engine's tid-order injection scan.
+_BY_TID = attrgetter("tid")
 
 
 @dataclass(frozen=True)
@@ -120,8 +124,13 @@ class HostEngine:
 
     # -- the engine loop ------------------------------------------------------
 
-    def _try_send(self, thread: SimThread) -> None:
-        """Inject a READY thread's pending packet; resume posted sends."""
+    def _try_send(self, thread: SimThread, cycle: Optional[int] = None) -> None:
+        """Inject a READY thread's pending packet; resume posted sends.
+
+        ``cycle`` may be passed by callers that already know the current
+        cycle (the run loop reads it once per phase instead of once per
+        thread); it is only used to timestamp posted-send resumes.
+        """
         pkt = thread.pending
         assert pkt is not None
         status = self.sim.send(pkt, dev=thread.ctx.cub, link=thread.ctx.link)
@@ -135,7 +144,7 @@ class HostEngine:
         else:
             # Posted: the program resumes with None and may produce its
             # next request, injected on a later cycle.
-            thread.resume(None, self.sim.cycle)
+            thread.resume(None, self.sim.cycle if cycle is None else cycle)
 
     def run(self) -> EngineResult:
         """Run until every thread completes; return the statistics.
@@ -150,39 +159,81 @@ class HostEngine:
 
         start = self.sim.cycle
         deadline = start + self.max_cycles
-        while True:
-            live = [t for t in self.threads if not t.done]
-            if not live:
-                break
-            if self.sim.cycle >= deadline:
+        # The live list persists across cycles and is pruned only on the
+        # cycles where some thread actually finished; re-filtering all
+        # threads every cycle is O(threads) of pure overhead on long
+        # contended runs where the population changes rarely.
+        live = [t for t in self.threads if not t.done]
+        num_devs = self.sim.config.num_devs
+        num_links = self.sim.config.num_links
+        READY = ThreadState.READY
+        # Threads that may inject at the next phase 1: sends that
+        # stalled stay in the list, threads resumed during phase 3 with
+        # a new pending request are appended.  Everything else is
+        # WAITING and cannot become injectable without a response, so
+        # scanning the whole live list every cycle is unnecessary —
+        # only the iteration order (thread id, the seed engine's full
+        # scan order) has to be restored before injecting.
+        inject = [t for t in live if t.state is READY and t.pending is not None]
+        by_tid = _BY_TID
+        sim = self.sim
+        by_tag = self._by_tag
+        WAITING = ThreadState.WAITING
+        while live:
+            cyc = sim.cycle
+            if cyc >= deadline:
                 raise HMCSimError(
                     f"workload did not complete within {self.max_cycles} cycles "
                     f"({len(live)} threads still running)"
                 )
-            # Phase 1: inject pending requests.
-            for thread in live:
-                if thread.state is ThreadState.READY and thread.pending is not None:
-                    self._try_send(thread)
+            finished = False
+            # Phase 1: inject pending requests (tid order, as the full
+            # thread scan would visit them).
+            if inject:
+                if len(inject) > 1:
+                    inject.sort(key=by_tid)
+                retry = []
+                for thread in inject:
+                    self._try_send(thread, cyc)
+                    if thread.done:
+                        finished = True
+                    elif thread.state is READY and thread.pending is not None:
+                        retry.append(thread)
+                inject = retry
             # Phase 2: one device cycle.
-            self.sim.clock()
+            sim.clock()
+            cyc = sim.cycle
             # Phase 3: drain responses, resume threads, same-cycle reissue.
-            for dev in range(self.sim.config.num_devs):
-                for link in range(self.sim.config.num_links):
+            for dev in range(num_devs):
+                links = sim.devices[dev].links
+                for link in range(num_links):
+                    if not links[link].drain_ready():
+                        continue
                     while True:
-                        rsp = self.sim.recv(dev=dev, link=link)
+                        rsp = sim.recv(dev=dev, link=link)
                         if rsp is None:
                             break
-                        thread = self._by_tag.get(rsp.tag)
-                        if thread is None or thread.state is not ThreadState.WAITING:
+                        thread = by_tag.get(rsp.tag)
+                        if thread is None or thread.state is not WAITING:
                             raise HMCSimError(
                                 f"response tag {rsp.tag} does not match a waiting thread"
                             )
-                        thread.resume(rsp, self.sim.cycle)
-                        if (
-                            thread.state is ThreadState.READY
-                            and thread.pending is not None
-                        ):
-                            self._try_send(thread)
+                        thread.resume(rsp, cyc)
+                        if thread.done:
+                            finished = True
+                        elif thread.state is READY and thread.pending is not None:
+                            self._try_send(thread, cyc)
+                            if thread.done:
+                                finished = True
+                            elif (
+                                thread.state is READY
+                                and thread.pending is not None
+                            ):
+                                # Same-cycle reissue stalled (or chained
+                                # a posted send): retry next phase 1.
+                                inject.append(thread)
+            if finished:
+                live = [t for t in live if not t.done]
 
         result = EngineResult(total_cycles=self.sim.cycle - start)
         for thread in self.threads:

@@ -166,6 +166,10 @@ class SimThread:
         self.program: Program = program
         self.state = ThreadState.READY
         self.pending: Optional[RequestPacket] = None
+        #: True once the program has completed.  A plain attribute
+        #: (kept in sync with ``state``) — the engine checks it after
+        #: every resume, so it must not cost a property call.
+        self.done = False
         self.start_cycle = 0
         self.finish_cycle: Optional[int] = None
         # Statistics.
@@ -180,6 +184,7 @@ class SimThread:
             self.state = ThreadState.READY
         except StopIteration:
             self.state = ThreadState.DONE
+            self.done = True
             self.finish_cycle = self.start_cycle
 
     def resume(self, rsp: Optional[object], cycle: int) -> None:
@@ -192,12 +197,8 @@ class SimThread:
         except StopIteration:
             self.pending = None
             self.state = ThreadState.DONE
+            self.done = True
             self.finish_cycle = cycle
-
-    @property
-    def done(self) -> bool:
-        """True once the program has completed."""
-        return self.state is ThreadState.DONE
 
     @property
     def elapsed(self) -> Optional[int]:

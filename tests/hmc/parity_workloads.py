@@ -1,0 +1,192 @@
+"""Canned workloads for the engine determinism-parity suite.
+
+Each runner executes a fixed, fully deterministic workload and returns
+a JSON-serializable *signature* of everything the simulation computed:
+the paper's MIN/MAX/AVG statistics, the complete per-queue counter set
+(pushes, pops, stalls, high-water marks), aggregate context counters,
+drain cycle counts, and a digest of the touched memory.
+
+The signatures captured from the seed (pre-active-set) engine live in
+``tests/hmc/golden_engine_parity.json``; ``test_engine_parity.py``
+asserts the current engine reproduces them bit-for-bit.  Regenerate
+with ``python scripts/capture_parity_golden.py`` only when a change is
+*supposed* to alter simulated behaviour (and say so in the PR).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.cmc_ops.mutex import (
+    build_lock,
+    decode_lock_response,
+    init_lock,
+    load_mutex_ops,
+)
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.engine import HostEngine
+from repro.host.kernels.gups import gups_program, hpcc_random_stream
+from repro.host.kernels.mutex_kernel import mutex_program
+
+__all__ = ["run_mutex_hotspot", "run_gups_random", "run_chained_two_cube", "WORKLOADS"]
+
+
+def _signature(sim: HMCSim, extra: Dict[str, object]) -> Dict[str, object]:
+    """Common tail of every workload signature."""
+    drain_cycles = sim.drain()
+    sig: Dict[str, object] = dict(extra)
+    sig["drain_cycles"] = drain_cycles
+    sig["stats"] = sim.stats()
+    return sig
+
+
+def _mem_digest(sim: HMCSim, addr: int, nbytes: int, *, dev: int = 0) -> str:
+    return hashlib.sha256(sim.mem_read(addr, nbytes, dev=dev)).hexdigest()
+
+
+def run_mutex_hotspot() -> Dict[str, object]:
+    """Algorithm 1 on a single shared lock: the paper's hot-spot case."""
+    sim = HMCSim(HMCConfig.cfg_4link_4gb())
+    load_mutex_ops(sim)
+    lock_addr = 0x0
+    init_lock(sim, lock_addr)
+    engine = HostEngine(sim, max_cycles=200_000)
+    engine.add_threads(24, lambda ctx: mutex_program(ctx, lock_addr))
+    result = engine.run()
+    return _signature(
+        sim,
+        {
+            "workload": "mutex_hotspot",
+            "min_cycle": result.min_cycle,
+            "max_cycle": result.max_cycle,
+            "avg_cycle": result.avg_cycle,
+            "total_cycles": result.total_cycles,
+            "send_stalls": result.send_stalls,
+            "per_thread_cycles": [t.cycles for t in result.threads],
+            "mem": _mem_digest(sim, lock_addr, 16),
+        },
+    )
+
+
+def run_gups_random() -> Dict[str, object]:
+    """RandomAccess scatter (atomic XOR16 offload) across all vaults."""
+    sim = HMCSim(HMCConfig.cfg_8link_8gb())
+    table_base = 1 << 20
+    table_entries = 512
+    num_threads, updates_per_thread = 8, 12
+    all_updates = hpcc_random_stream(0x2545F4914F6CDD1D, num_threads * updates_per_thread)
+    engine = HostEngine(sim, max_cycles=200_000)
+    for t in range(num_threads):
+        chunk = all_updates[t * updates_per_thread : (t + 1) * updates_per_thread]
+        engine.add_thread(
+            lambda ctx, chunk=chunk: gups_program(
+                ctx, table_base, table_entries, chunk, True
+            )
+        )
+    result = engine.run()
+    return _signature(
+        sim,
+        {
+            "workload": "gups_random",
+            "min_cycle": result.min_cycle,
+            "max_cycle": result.max_cycle,
+            "avg_cycle": result.avg_cycle,
+            "total_cycles": result.total_cycles,
+            "send_stalls": result.send_stalls,
+            "per_thread_cycles": [t.cycles for t in result.threads],
+            "mem": _mem_digest(sim, table_base, table_entries * 16),
+        },
+    )
+
+
+def run_chained_two_cube() -> Dict[str, object]:
+    """CUB-routed traffic over a two-cube chain, injected on cube 0.
+
+    Exercises request forwarding, response return trips, and the
+    per-cube address spaces: a write/read burst alternating cubes kept
+    in flight together, then a CMC lock on the far cube.
+    """
+    sim = HMCSim(HMCConfig(num_devs=2, capacity=2))
+    load_mutex_ops(sim)
+
+    latencies: List[int] = []
+    recv_order: List[int] = []
+
+    def roundtrip(pkt) -> None:
+        sim.send(pkt, dev=0)
+        start = sim.cycle
+        while True:
+            sim.clock()
+            rsp = sim.recv(dev=0)
+            if rsp is not None:
+                latencies.append(sim.cycle - start)
+                recv_order.append(rsp.tag)
+                return
+
+    # Round-trip phase: one packet in flight at a time, alternating cubes.
+    tag = 0
+    for i in range(8):
+        cub = i % 2
+        addr = 0x2000 + (i // 2) * 0x40
+        data = bytes([0x10 + i]) * 16
+        roundtrip(sim.build_memrequest(hmc_rqst_t.WR16, addr, tag, cub=cub, data=data))
+        tag += 1
+    for i in range(8):
+        cub = i % 2
+        addr = 0x2000 + (i // 2) * 0x40
+        roundtrip(sim.build_memrequest(hmc_rqst_t.RD16, addr, tag, cub=cub))
+        tag += 1
+
+    # Burst phase: 8 packets in flight together, alternating cubes.
+    for i in range(8):
+        cub = i % 2
+        addr = 0x3000 + (i // 2) * 0x40
+        data = bytes([0x80 + i]) * 16
+        pkt = sim.build_memrequest(hmc_rqst_t.WR16, addr, 100 + i, cub=cub, data=data)
+        sim.send(pkt, dev=0, link=i % sim.config.num_links)
+    got = 0
+    while got < 8:
+        sim.clock()
+        for link in range(sim.config.num_links):
+            while True:
+                rsp = sim.recv(dev=0, link=link)
+                if rsp is None:
+                    break
+                recv_order.append(rsp.tag)
+                got += 1
+
+    # CMC mutex on the far cube, locked from cube 0.
+    init_lock(sim, 0x40, dev=1)
+    sim.send(build_lock(sim, 0x40, 300, tid=7, cub=1), dev=0)
+    while True:
+        sim.clock()
+        rsp = sim.recv(dev=0)
+        if rsp is not None:
+            lock_acquired = decode_lock_response(rsp.data)
+            recv_order.append(rsp.tag)
+            break
+
+    return _signature(
+        sim,
+        {
+            "workload": "chained_two_cube",
+            "latencies": latencies,
+            "recv_order": recv_order,
+            "lock_acquired": lock_acquired,
+            "forwarded_requests": sim.topology.forwarded_requests,
+            "forwarded_responses": sim.topology.forwarded_responses,
+            "mem_cube0": _mem_digest(sim, 0x2000, 0x200, dev=0),
+            "mem_cube1": _mem_digest(sim, 0x2000, 0x200, dev=1),
+        },
+    )
+
+
+#: name -> runner, in golden-file order.
+WORKLOADS = {
+    "mutex_hotspot": run_mutex_hotspot,
+    "gups_random": run_gups_random,
+    "chained_two_cube": run_chained_two_cube,
+}

@@ -1,0 +1,54 @@
+"""Regression gate: no function-level imports in ``src/repro/hmc/``.
+
+Runs ``scripts/lint_no_function_imports.py`` in-process so the check
+fails tier-1 CI, not just the standalone script.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "lint_no_function_imports.py"
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location("lint_no_function_imports", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_function_level_imports_in_hmc_package() -> None:
+    lint = _load_lint()
+    diags = lint.run()
+    assert diags == [], "\n".join(diags)
+
+
+def test_lint_flags_a_planted_violation(tmp_path: Path) -> None:
+    """The lint actually detects what it claims to (no false-clean)."""
+    lint = _load_lint()
+    bad = tmp_path / "hot.py"
+    bad.write_text(
+        "def process(pkt):\n"
+        "    import json\n"
+        "    return json\n"
+        "\n"
+        "def __getattr__(name):\n"
+        "    from os import path  # PEP 562 lazy import: allowed\n"
+        "    return path\n"
+    )
+    diags = lint.run(tmp_path)
+    assert len(diags) == 1
+    assert "hot.py" in diags[0] and "process" in diags[0]
+
+
+def test_lint_script_runs_standalone() -> None:
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
