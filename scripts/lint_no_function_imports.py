@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
-"""Fail on function-level imports in the simulator hot-path package.
+"""Structural lints for the simulator core package.
 
-Imports inside functions on the per-cycle path (``hmcsim_process_rqst``
-and friends ran one per packet before the active-set engine hoisted
-them) cost a dict lookup and a call per execution and hide the module's
-real dependency graph.  This lint keeps them from creeping back into
-``src/repro/hmc/``.
+Two checks, both run by ``main`` (and by ``tests/hmc/test_lint_clean.py``
+in tier-1 CI):
 
-One idiom is exempt: imports inside a module-level ``__getattr__``
-(PEP 562 lazy attribute access), the standard way to break an import
-cycle — never on the simulation hot path.
+1. **No function-level imports** in ``src/repro/hmc/``.  Imports inside
+   functions on the per-cycle path (``hmcsim_process_rqst`` and friends
+   ran one per packet before the active-set engine hoisted them) cost a
+   dict lookup and a call per execution and hide the module's real
+   dependency graph.  One idiom is exempt: imports inside a
+   module-level ``__getattr__`` (PEP 562 lazy attribute access), the
+   standard way to break an import cycle — never on the simulation hot
+   path.
+
+2. **Registry-only construction** in the core modules (``device.py``,
+   ``sim.py``).  The concrete implementations of every pipeline seam —
+   crossbars, vault schedulers, flow models, topologies, memory
+   backends — are registered components; the core must build them
+   through :mod:`repro.hmc.composition`, never import them by name.
+   The banned-name list is derived from the *live* registry, so a newly
+   registered built-in is automatically covered.
 
 Usage:  python scripts/lint_no_function_imports.py
 Exit status 0 when clean, 1 with one ``path:line`` diagnostic per
-violation otherwise.  ``tests/hmc/test_lint_clean.py`` runs it in CI.
+violation otherwise.
 """
 
 from __future__ import annotations
@@ -61,13 +71,63 @@ def run(root: Path = LINTED) -> List[str]:
     return out
 
 
+#: Core modules that must compose the pipeline through the registry.
+CORE_MODULES = (LINTED / "device.py", LINTED / "sim.py")
+
+
+def _registered_factories() -> dict:
+    """``module -> {factory names}`` for every registered component."""
+    src = str(REPO / "src")
+    added = src not in sys.path
+    if added:
+        sys.path.insert(0, src)
+    try:
+        import repro.hmc.composition  # noqa: F401  populates the registry
+
+        from repro.hmc.components import COMPONENTS
+
+        factories: dict = {}
+        for seam in COMPONENTS.seams():
+            for key in COMPONENTS.keys(seam):
+                factory = COMPONENTS.get(seam, key)
+                module = getattr(factory, "__module__", "")
+                name = getattr(factory, "__name__", "")
+                if module and name:
+                    factories.setdefault(module, set()).add(name)
+        return factories
+    finally:
+        if added:
+            sys.path.remove(src)
+
+
+def run_seam_check(core_paths=CORE_MODULES) -> List[str]:
+    """Diagnostics for core modules importing concrete seam classes."""
+    factories = _registered_factories()
+    out: List[str] = []
+    for path in core_paths:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.module not in factories:
+                continue
+            for alias in node.names:
+                if alias.name in factories[node.module]:
+                    out.append(
+                        f"{shown}:{node.lineno}: core module imports concrete "
+                        f"seam implementation {alias.name!r} from "
+                        f"{node.module} — construct it through "
+                        f"repro.hmc.composition instead"
+                    )
+    return out
+
+
 def main() -> int:
-    diags = run()
+    diags = run() + run_seam_check()
     for diag in diags:
         print(diag)
     if diags:
         print(
-            f"\n{len(diags)} function-level import(s) in "
+            f"\n{len(diags)} lint violation(s) in "
             f"{LINTED.relative_to(REPO)} — see scripts/lint_no_function_imports.py"
         )
         return 1

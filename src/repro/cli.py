@@ -8,19 +8,27 @@ Installed as ``hmcsim-repro`` (also ``python -m repro``):
 * ``hmcsim-repro kernel mutex|ticket|stream|gups|bfs|hist`` — run one
   workload kernel and print its statistics.
 * ``hmcsim-repro info`` — show the command space and configurations.
+
+Experiment commands accept ``--component seam=impl`` (repeatable) to
+swap a pipeline stage, e.g. ``--component xbar=ideal --component
+vault_scheduler=round_robin``.  ``info`` lists the registered
+implementations per seam.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from dataclasses import replace as _replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import tables as _tables
 from repro.analysis.export import sweep_to_csv, write_csv
 from repro.analysis.plot import plot_sweeps
 from repro.analysis.sweep import run_mutex_sweep
 from repro.hmc.commands import CMC_CODES, DEFINED_CODES
+from repro.hmc.components import COMPONENTS
+from repro.hmc.composition import SEAM_FIELDS
 from repro.hmc.config import HMCConfig
 
 __all__ = ["main", "build_parser"]
@@ -50,13 +58,42 @@ def _parse_threads(spec: str) -> List[int]:
     return counts
 
 
-def _configs(which: str) -> List[HMCConfig]:
+def _parse_component(spec: str) -> Tuple[str, str]:
+    """Parse a ``--component`` spec: ``seam=impl``, e.g. ``xbar=ideal``."""
+    seam, sep, key = spec.partition("=")
+    if not sep or seam not in SEAM_FIELDS:
+        known = ", ".join(sorted(SEAM_FIELDS))
+        raise argparse.ArgumentTypeError(
+            f"bad component spec {spec!r} (expected seam=impl; seams: {known})"
+        )
+    if not COMPONENTS.has(seam, key):
+        known = ", ".join(COMPONENTS.keys(seam))
+        raise argparse.ArgumentTypeError(
+            f"unknown {seam} implementation {key!r} (registered: {known})"
+        )
+    return seam, key
+
+
+def _configs(
+    which: str, components: Optional[List[Tuple[str, str]]] = None
+) -> List[HMCConfig]:
     cfgs = {
         "4link": [HMCConfig.cfg_4link_4gb()],
         "8link": [HMCConfig.cfg_8link_8gb()],
         "both": [HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb()],
-    }
-    return cfgs[which]
+    }[which]
+    if components:
+        overrides = {SEAM_FIELDS[seam]: key for seam, key in components}
+        cfgs = [_replace(cfg, **overrides) for cfg in cfgs]
+    return cfgs
+
+
+def _add_component_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--component", action="append", type=_parse_component, default=None,
+        metavar="SEAM=IMPL", dest="components",
+        help="swap a pipeline stage, e.g. xbar=ideal (repeatable)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=_parse_threads, default=None,
         help="thread axis for table 6 (default 2:100)",
     )
+    _add_component_arg(p_table)
 
     p_sweep = sub.add_parser("sweep", help="run the Figures 5-7 thread sweep")
     p_sweep.add_argument(
@@ -84,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--plot", action="store_true", help="render ASCII charts")
     p_sweep.add_argument("--csv", metavar="PATH", help="export the series as CSV")
+    _add_component_arg(p_sweep)
 
     p_kernel = sub.add_parser("kernel", help="run one workload kernel")
     p_kernel.add_argument(
@@ -93,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_kernel.add_argument(
         "--config", choices=["4link", "8link"], default="4link"
     )
+    _add_component_arg(p_kernel)
 
     p_open = sub.add_parser(
         "openloop", help="open-loop latency vs offered load"
@@ -101,12 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_open.add_argument("--duration", type=int, default=256)
     p_open.add_argument("--pattern", choices=["uniform", "stride"], default="uniform")
     p_open.add_argument("--config", choices=["4link", "8link"], default="4link")
+    _add_component_arg(p_open)
 
     p_chase = sub.add_parser("chase", help="pointer-chase latency kernel")
     p_chase.add_argument("--length", type=int, default=64)
     p_chase.add_argument("--scatter", action="store_true")
     p_chase.add_argument("--timing", action="store_true", help="attach DRAM timing")
     p_chase.add_argument("--config", choices=["4link", "8link"], default="4link")
+    _add_component_arg(p_chase)
 
     p_analyze = sub.add_parser("analyze", help="analyze a trace file")
     p_analyze.add_argument("trace", help="path to a trace file")
@@ -135,18 +177,21 @@ def _cmd_table(args, out) -> int:
         from repro.cmc_ops.mutex import load_mutex_ops
         from repro.hmc.sim import HMCSim
 
-        sim = HMCSim(HMCConfig.cfg_4link_4gb())
+        sim = HMCSim(_configs("4link", args.components)[0])
         load_mutex_ops(sim)
         out.write(_tables.render_table5(sim.cmc) + "\n")
     else:
         counts = args.threads or _parse_threads("2:100")
-        sweeps = [run_mutex_sweep(c, counts) for c in _configs("both")]
+        sweeps = [run_mutex_sweep(c, counts) for c in _configs("both", args.components)]
         out.write(_tables.render_table6(sweeps) + "\n")
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
-    sweeps = [run_mutex_sweep(c, args.threads) for c in _configs(args.config)]
+    sweeps = [
+        run_mutex_sweep(c, args.threads)
+        for c in _configs(args.config, args.components)
+    ]
     for title, attr in [
         ("Figure 5: Minimum Lock Cycles", "min_cycles"),
         ("Figure 6: Maximum Lock Cycles", "max_cycles"),
@@ -164,7 +209,7 @@ def _cmd_sweep(args, out) -> int:
 
 
 def _cmd_kernel(args, out) -> int:
-    cfg = _configs(args.config)[0]
+    cfg = _configs(args.config, args.components)[0]
     if args.name == "mutex":
         from repro.host.kernels.mutex_kernel import run_mutex_workload
 
@@ -223,7 +268,7 @@ def _cmd_kernel(args, out) -> int:
 def _cmd_openloop(args, out) -> int:
     from repro.host.openloop import run_open_loop
 
-    cfg = _configs(args.config)[0]
+    cfg = _configs(args.config, args.components)[0]
     s = run_open_loop(
         cfg, offered_rate=args.rate, duration=args.duration, pattern=args.pattern
     )
@@ -240,7 +285,7 @@ def _cmd_chase(args, out) -> int:
     from repro.hmc.timing import DEFAULT_TIMING
     from repro.host.kernels.pointer_chase import run_pointer_chase
 
-    cfg = _configs(args.config)[0]
+    cfg = _configs(args.config, args.components)[0]
     s = run_pointer_chase(
         cfg,
         length=args.length,
@@ -288,6 +333,13 @@ def _cmd_info(out) -> int:
             f"block {cfg.bsize}B\n"
         )
     out.write(f"CMC codes: {', '.join(str(c) for c in CMC_CODES[:12])}, ...\n")
+    defaults = HMCConfig.cfg_4link_4gb().component_selection()
+    out.write("pipeline components (--component seam=impl, * = default):\n")
+    for seam in COMPONENTS.seams():
+        keys = ", ".join(
+            f"{k}*" if k == defaults[seam] else k for k in COMPONENTS.keys(seam)
+        )
+        out.write(f"  {seam}: {keys}\n")
     return 0
 
 

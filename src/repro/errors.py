@@ -84,3 +84,15 @@ class CMCExecutionError(CMCError):
 
 class TagError(HMCSimError, ValueError):
     """A request or response used an invalid or duplicate tag."""
+
+
+class ComponentError(HMCSimError):
+    """A pipeline-component registration or lookup failed.
+
+    The component registry (:mod:`repro.hmc.components`) keys pluggable
+    pipeline stages — crossbar, vault scheduler, link flow, topology,
+    memory backend — by ``(seam, key)`` strings, the same way the CMC
+    registry keys custom operations by command code.  Registering a
+    duplicate key, registering under an unknown seam, or requesting an
+    implementation that was never registered raises this error.
+    """

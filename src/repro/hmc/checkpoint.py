@@ -5,16 +5,24 @@ of cycles) benefit from snapshotting: capture the device-visible state
 — memory image, registers, cycle counter, statistics — and later
 restore it into a context built with the same configuration.
 
-Scope: a checkpoint captures *quiesced* state.  Taking one while
-packets are in flight raises, because generator-based host programs
-cannot be serialized; call :meth:`HMCSim.drain` first.  The CMC
+Scope: a checkpoint captures state while every *device* is quiesced
+(no request or response inside a crossbar, vault queue, or retry
+buffer) — generator-based host programs cannot be serialized, and
+device-internal Flights carry live references.  Packets travelling
+*between* cubes are different: the topology's delay lines hold plain
+packets plus integer metadata, so a chained simulation can be
+checkpointed mid-flight and the in-transit packets are rebuilt on
+restore with their routing recomputed from the packet itself.  The CMC
 registry is intentionally **not** serialized (plugins are code, not
 state — reload them after restore), matching how the C simulator
 would reload shared libraries in a new process.
 
 The on-disk format is a versioned, self-describing pickle-free
 structure written with :mod:`json` + raw page blobs, so checkpoints
-remain inspectable and robust across library versions.
+remain inspectable and robust across library versions.  Version 2
+added the component-selection fields to the configuration fingerprint
+(a checkpoint taken under one pipeline composition must not restore
+into another) and the in-transit topology state.
 """
 
 from __future__ import annotations
@@ -22,20 +30,22 @@ from __future__ import annotations
 import base64
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 from repro.errors import HMCSimError
+from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.registers import HMC_REG
 from repro.hmc.sim import HMCSim
+from repro.hmc.topology import Topology
 
 __all__ = ["save_checkpoint", "restore_checkpoint", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
     cfg = sim.config
-    return {
+    fp: Dict[str, object] = {
         "num_devs": cfg.num_devs,
         "num_links": cfg.num_links,
         "num_vaults": cfg.num_vaults,
@@ -46,18 +56,165 @@ def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
         "bsize": cfg.bsize,
         "addr_interleave": cfg.addr_interleave,
     }
+    # The pipeline composition is part of the fingerprint: restoring a
+    # checkpoint into a context with a different crossbar, scheduler,
+    # flow, topology, or memory model would silently change semantics.
+    fp.update(cfg.component_selection())
+    return fp
+
+
+# -- packet (de)serialization --------------------------------------------------
+
+_RQST_FIELDS = ("cmd", "tag", "addr", "cub", "rrp", "frp", "seq", "pb", "slid", "rtc")
+_RSP_FIELDS = (
+    "cmd",
+    "tag",
+    "cub",
+    "slid",
+    "rrp",
+    "frp",
+    "seq",
+    "dinv",
+    "errstat",
+    "rtc",
+    "retire_cycle",
+    "inject_cycle",
+    "origin_dev",
+    "origin_link",
+)
+
+
+def _encode_rqst(pkt: RequestPacket) -> Dict[str, object]:
+    doc: Dict[str, object] = {f: getattr(pkt, f) for f in _RQST_FIELDS}
+    doc["data"] = base64.b64encode(pkt.data).decode("ascii")
+    return doc
+
+
+def _decode_rqst(doc: Dict[str, object]) -> RequestPacket:
+    return RequestPacket(
+        data=base64.b64decode(doc["data"]),
+        **{f: doc[f] for f in _RQST_FIELDS},
+    )
+
+
+def _encode_rsp(rsp: ResponsePacket) -> Dict[str, object]:
+    doc: Dict[str, object] = {f: getattr(rsp, f) for f in _RSP_FIELDS}
+    doc["data"] = base64.b64encode(rsp.data).decode("ascii")
+    return doc
+
+
+def _decode_rsp(doc: Dict[str, object]) -> ResponsePacket:
+    return ResponsePacket(
+        data=base64.b64decode(doc["data"]),
+        **{f: doc[f] for f in _RSP_FIELDS},
+    )
+
+
+# -- topology wire (de)serialization -------------------------------------------
+
+
+def _encode_topology(sim: HMCSim) -> Dict[str, object]:
+    topo = sim.topology
+    doc: Dict[str, object] = {
+        "forwarded_requests": getattr(topo, "forwarded_requests", 0),
+        "forwarded_responses": getattr(topo, "forwarded_responses", 0),
+        "rqst_wire": [],
+        "rsp_wire": [],
+    }
+    if not isinstance(topo, Topology):
+        # A third-party router's delay-line layout is unknown; only a
+        # drained one can be captured.
+        if topo.in_transit:
+            raise HMCSimError(
+                "cannot checkpoint in-transit packets of a custom topology "
+                "router — call drain() first"
+            )
+        return doc
+    doc["rqst_wire"] = [
+        {
+            "ready": ready,
+            "dev": dev,
+            "link": link,
+            "pkt": _encode_rqst(flight.pkt),
+            # Flight metadata that cannot be recomputed from the packet;
+            # routing (vault/bank/quad/row) is rederived on restore.
+            "src_link": flight.src_link,
+            "inject_cycle": flight.inject_cycle,
+            "hop_delay": flight.hop_delay,
+            "origin_dev": flight.origin_dev,
+            "link_seq": flight.link_seq,
+            "service_until": flight.service_until,
+            "chain_hops": flight.chain_hops,
+        }
+        for ready, dev, link, flight in topo._rqst_wire
+    ]
+    doc["rsp_wire"] = [
+        {"ready": ready, "dev": dev, "rsp": _encode_rsp(rsp)}
+        for ready, dev, rsp in topo._rsp_wire
+    ]
+    return doc
+
+
+def _restore_topology(sim: HMCSim, doc: Dict[str, object]) -> None:
+    topo = sim.topology
+    if not isinstance(topo, Topology):
+        if doc["rqst_wire"] or doc["rsp_wire"]:
+            raise HMCSimError(
+                "checkpoint holds in-transit packets but the target context "
+                "uses a custom topology router that cannot receive them"
+            )
+        return
+    # Routing constants are identical across same-config devices, so
+    # any device can rebuild the Flight.
+    router = sim.devices[0]
+    rqst_wire: List = []
+    for entry in doc["rqst_wire"]:
+        flight = router.route_flight(
+            _decode_rqst(entry["pkt"]),
+            entry["src_link"],
+            entry["inject_cycle"],
+            hop_delay=entry["hop_delay"],
+            origin_dev=entry["origin_dev"],
+            link_seq=entry["link_seq"],
+            service_until=entry["service_until"],
+            chain_hops=entry["chain_hops"],
+        )
+        rqst_wire.append((entry["ready"], entry["dev"], entry["link"], flight))
+    topo._rqst_wire = rqst_wire
+    topo._rsp_wire = [
+        (entry["ready"], entry["dev"], _decode_rsp(entry["rsp"]))
+        for entry in doc["rsp_wire"]
+    ]
+    topo.forwarded_requests = doc["forwarded_requests"]
+    topo.forwarded_responses = doc["forwarded_responses"]
+
+
+def _check_devices_quiesced(sim: HMCSim, action: str) -> None:
+    """Devices (and the link layer) must hold nothing; packets on the
+    inter-cube wire are fine — they serialize."""
+    for device in sim.devices:
+        if device.busy():
+            raise HMCSimError(
+                f"cannot {action} with packets in flight inside a device — "
+                "call drain() first"
+            )
+    flow = sim.flow
+    if flow is not None and flow.has_pending_replays():
+        raise HMCSimError(
+            f"cannot {action} with link replays in flight — call drain() first"
+        )
 
 
 def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
-    """Write a checkpoint of a quiesced context.
+    """Write a checkpoint of a device-quiesced context.
+
+    Packets in transit between cubes are captured; packets inside a
+    device are not serializable.
 
     Raises:
-        HMCSimError: if packets are still in flight (drain first).
+        HMCSimError: if any device holds packets in flight (drain first).
     """
-    if not sim.idle():
-        raise HMCSimError(
-            "cannot checkpoint with packets in flight — call drain() first"
-        )
+    _check_devices_quiesced(sim, "checkpoint")
     pages = [
         {"base": base_addr, "data": base64.b64encode(content).decode("ascii")}
         for base_addr, content in sim.backend.iter_resident()
@@ -74,6 +231,7 @@ def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
         },
         "pages": pages,
         "registers": registers,
+        "topology": _encode_topology(sim),
     }
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
@@ -84,15 +242,19 @@ def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
 def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
     """Load a checkpoint into a freshly built context.
 
-    The target context must have an equivalent configuration; CMC
-    plugins must be re-loaded by the caller afterwards.
+    The target context must have an equivalent configuration —
+    including the same component selection for every pipeline seam —
+    and CMC plugins must be re-loaded by the caller afterwards.
 
     Raises:
         HMCSimError: version or configuration mismatch, or a non-idle
             target context.
     """
-    if not sim.idle():
-        raise HMCSimError("cannot restore into a context with packets in flight")
+    _check_devices_quiesced(sim, "restore")
+    if sim.topology.in_transit:
+        raise HMCSimError(
+            "cannot restore into a context with packets in flight between cubes"
+        )
     doc = json.loads(Path(path).read_text())
     if doc.get("version") != CHECKPOINT_VERSION:
         raise HMCSimError(
@@ -118,3 +280,4 @@ def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
     sim.sent_rqsts = counters["sent_rqsts"]
     sim.send_stalls = counters["send_stalls"]
     sim.recvd_rsps = counters["recvd_rsps"]
+    _restore_topology(sim, doc["topology"])

@@ -1,0 +1,409 @@
+"""Pipeline-component interfaces and the component registry.
+
+HMC-Sim 2.0's headline contribution is extensibility: CMC plugins add
+new *memory-side operations* without touching the simulator core
+(paper §IV).  This module applies the same philosophy to the core's
+*structural* seams.  Each stage of the device pipeline is an explicit
+interface, and concrete implementations register here under string
+keys — exactly how :class:`repro.core.cmc.CMCRegistry` keys custom
+operations by command code — so new crossbar models, vault scheduling
+policies, link-flow models, multi-cube topologies, and memory backends
+become plugin-sized changes selected through :class:`HMCConfig`.
+
+The five seams:
+
+=================  ==========================  ===========================
+seam               interface                   built-in keys
+=================  ==========================  ===========================
+``xbar``           :class:`CrossbarModel`      ``queued``, ``ideal``
+``vault_scheduler``:class:`VaultScheduler`     ``fifo``, ``round_robin``
+``link_flow``      :class:`LinkFlow`           ``none``, ``tokens``
+``topology``       :class:`TopologyRouter`     ``chain``, ``ring``
+``memory``         :class:`MemoryModel`        ``paged``, ``chunked``
+=================  ==========================  ===========================
+
+Built-ins self-register from their home modules (imported by
+:mod:`repro.hmc.composition`); third-party components call
+:func:`register_component` with their own key — see
+``docs/ARCHITECTURE.md`` for the end-to-end recipe.
+
+This module deliberately imports nothing from the rest of
+:mod:`repro.hmc`: interfaces must not depend on implementations, and
+:mod:`repro.hmc.config` validates selections through the registry
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ComponentError
+
+__all__ = [
+    "SEAMS",
+    "ComponentRegistry",
+    "COMPONENTS",
+    "register_component",
+    "CrossbarModel",
+    "VaultScheduler",
+    "LinkFlow",
+    "TopologyRouter",
+    "MemoryModel",
+]
+
+#: The recognised seam names, in pipeline order.
+SEAMS: Tuple[str, ...] = (
+    "xbar",
+    "vault_scheduler",
+    "link_flow",
+    "topology",
+    "memory",
+)
+
+
+# ---------------------------------------------------------------------------
+# Seam interfaces
+# ---------------------------------------------------------------------------
+
+
+class CrossbarModel(ABC):
+    """The logic-layer crossbar of one device (seam ``xbar``).
+
+    Connects a device's links to its vaults through per-link request
+    and response queues.  Implementations must maintain the O(1)
+    occupancy counters ``rqst_occ`` / ``rsp_occ`` (the active-set
+    scheduler's idle test reads them every cycle) and expose the
+    per-link ``rqst_queues`` / ``rsp_queues`` StallQueue lists that
+    :class:`repro.hmc.device.Device` drains.
+
+    Factory signature: ``factory(config, dev) -> CrossbarModel``.
+    """
+
+    #: Entries currently queued on the request side (all links).
+    rqst_occ: int
+    #: Entries currently queued on the response side (all links).
+    rsp_occ: int
+
+    @abstractmethod
+    def inject(self, link: int, flight: Any) -> bool:
+        """Push a new request into a link's queue; False on stall."""
+
+    @abstractmethod
+    def push_response(self, link: int, rsp: Any) -> bool:
+        """Queue a completed response toward its source link."""
+
+    @abstractmethod
+    def head_request(self, link: int) -> Optional[Any]:
+        """Peek the head of a link's request queue."""
+
+    @abstractmethod
+    def pop_request(self, link: int) -> Optional[Any]:
+        """Pop the head of a link's request queue."""
+
+    @abstractmethod
+    def unpop_request(self, link: int, flight: Any) -> None:
+        """Undo a pop after a downstream stall (entry keeps its place).
+
+        Must succeed — without recording a stall — even when the queue
+        is at full depth, because the entry logically still owns its
+        slot (see :meth:`repro.hmc.queue.StallQueue.requeue_head`).
+        """
+
+    @abstractmethod
+    def pop_response(self, link: int) -> Optional[Any]:
+        """Pop the head of a link's response queue (for retirement)."""
+
+    @abstractmethod
+    def total_stalls(self) -> int:
+        """Stall count across all crossbar queues."""
+
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Entries currently queued across all crossbar queues."""
+
+
+class VaultScheduler(ABC):
+    """The request-pick policy of one vault (seam ``vault_scheduler``).
+
+    Owns the per-cycle walk over a vault's request queue: which queued
+    requests issue this cycle, and in what order.  Implementations must
+    preserve the pipeline invariants the device relies on:
+
+    * per-bank FIFO order — two requests to the same bank never
+      reorder;
+    * the vault's per-cycle response budget
+      (``config.vault_rsp_rate``) bounds issued responses;
+    * a response refused by the crossbar parks in
+      ``vault._pending_rsp`` and blocks the vault;
+    * queue push/pop counters stay consistent with the actual queue
+      mutations.
+
+    One scheduler instance is created *per vault* (policy state such as
+    a round-robin pointer is vault-local).
+
+    Factory signature: ``factory(config) -> VaultScheduler``.
+    """
+
+    @abstractmethod
+    def scan(self, vault: Any, device: Any, cycle: int) -> None:
+        """Process ``vault``'s request queue for this cycle."""
+
+
+class LinkFlow(ABC):
+    """Link-layer flow control and retry (seam ``link_flow``).
+
+    The credit/retry contract of the HMC specification's link layer:
+    token acquisition before transmit, retry-buffer bookkeeping, CRC
+    corruption checks, and replay scheduling.  The ``none`` key maps to
+    no model at all (``HMCSim.flow is None``), which is the baseline
+    datapath with zero perturbation.
+
+    Factory signature: ``factory(config) -> Optional[LinkFlow]``.
+    """
+
+    @abstractmethod
+    def try_acquire(self, dev: int, link: int, flits: int) -> bool:
+        """Consume transmit credit; False on a token stall."""
+
+    @abstractmethod
+    def refund(self, dev: int, link: int, flits: int) -> None:
+        """Return credit for a packet that was never transmitted."""
+
+    @abstractmethod
+    def on_transmit(self, dev: int, link: int, flits: int, packet: Any) -> int:
+        """Record a transmitted packet; returns its sequence number."""
+
+    @abstractmethod
+    def transmission_corrupted(self, dev: int, link: int, seq: int) -> bool:
+        """Whether transmission ``seq`` suffered a CRC error."""
+
+    @abstractmethod
+    def acknowledge(self, dev: int, link: int, seq: int) -> None:
+        """Release packet ``seq``'s retry slot and return its tokens."""
+
+    @abstractmethod
+    def negative_acknowledge(
+        self, dev: int, link: int, seq: int, cycle: int, tag: int
+    ) -> None:
+        """Drop packet ``seq`` on a CRC error and schedule its replay."""
+
+    @abstractmethod
+    def schedule_replay(
+        self, dev: int, link: int, ready_cycle: int, packet: Any
+    ) -> None:
+        """Re-queue a replay that could not re-enter the link."""
+
+    @abstractmethod
+    def due_replays(self, dev: int, link: int, cycle: int) -> List[Any]:
+        """Packets whose retry latency has elapsed (removed)."""
+
+    @abstractmethod
+    def replay_links(self, dev: int) -> Set[int]:
+        """Links of ``dev`` that currently hold scheduled replays."""
+
+    @abstractmethod
+    def has_pending_replays(self) -> bool:
+        """True when any link of any device holds a scheduled replay."""
+
+
+class TopologyRouter(ABC):
+    """Multi-cube routing between devices (seam ``topology``).
+
+    Owns the inter-device delay lines: requests whose CUB names
+    another cube, and responses making the return trip.
+
+    Factory signature: ``factory(sim) -> TopologyRouter``.
+    """
+
+    @abstractmethod
+    def forward_request(self, from_dev: int, flight: Any, link: int) -> None:
+        """Launch a request toward its target cube."""
+
+    @abstractmethod
+    def forward_response(self, from_dev: int, rsp: Any, cycle: int) -> None:
+        """Launch a response back toward its originating cube."""
+
+    @abstractmethod
+    def clock(self, cycle: int) -> None:
+        """Deliver in-transit packets whose hop delay has elapsed."""
+
+    @abstractmethod
+    def hop_distance(self, a: int, b: int) -> int:
+        """Hops between cubes ``a`` and ``b`` under this wiring."""
+
+    @property
+    @abstractmethod
+    def in_transit(self) -> int:
+        """Packets currently travelling between cubes."""
+
+
+class MemoryModel(ABC):
+    """Byte-addressable backing store for device memory (seam ``memory``).
+
+    Holds the real data the paper's CMC/atomic operations read-modify-
+    write.  Cold regions must read as zero (the known initial state the
+    mutex model relies on).
+
+    Factory signature: ``factory(capacity_bytes) -> MemoryModel``.
+    """
+
+    #: Total bytes addressable through this store.
+    capacity: int
+
+    @abstractmethod
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``addr`` (zero-fill for untouched space)."""
+
+    @abstractmethod
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+
+    @abstractmethod
+    def view(self, base: int, size: int) -> Any:
+        """A bounds-checked window rebased to address 0."""
+
+    @abstractmethod
+    def iter_resident(self) -> Any:
+        """Yield ``(base_address, bytes)`` for each materialized region."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop all state, returning the store to all-zeros."""
+
+
+#: interface enforced per seam (used by register-time validation).
+_SEAM_INTERFACE: Dict[str, type] = {
+    "xbar": CrossbarModel,
+    "vault_scheduler": VaultScheduler,
+    "link_flow": LinkFlow,
+    "topology": TopologyRouter,
+    "memory": MemoryModel,
+}
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+class ComponentRegistry:
+    """String-keyed factories for every pipeline seam.
+
+    The structural mirror of :class:`repro.core.cmc.CMCRegistry`: where
+    that registry maps *command codes* to custom memory operations,
+    this one maps ``(seam, key)`` pairs to component factories, so the
+    simulator core composes its pipeline without naming any concrete
+    class.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Dict[str, Callable[..., Any]]] = {
+            seam: {} for seam in SEAMS
+        }
+
+    def register(
+        self,
+        seam: str,
+        key: str,
+        factory: Callable[..., Any],
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Install ``factory`` under ``(seam, key)``.
+
+        Raises:
+            ComponentError: unknown seam, empty key, or an occupied key
+                (unless ``replace`` is set).
+        """
+        table = self._factories.get(seam)
+        if table is None:
+            raise ComponentError(
+                f"unknown seam {seam!r}: expected one of {', '.join(SEAMS)}"
+            )
+        if not key or not isinstance(key, str):
+            raise ComponentError(f"component key must be a non-empty string, got {key!r}")
+        if key in table and not replace:
+            raise ComponentError(
+                f"seam {seam!r} already has an implementation registered "
+                f"under {key!r} (pass replace=True to override)"
+            )
+        table[key] = factory
+
+    def get(self, seam: str, key: str) -> Callable[..., Any]:
+        """The factory at ``(seam, key)``.
+
+        Raises:
+            ComponentError: unknown seam or unregistered key.
+        """
+        table = self._factories.get(seam)
+        if table is None:
+            raise ComponentError(
+                f"unknown seam {seam!r}: expected one of {', '.join(SEAMS)}"
+            )
+        factory = table.get(key)
+        if factory is None:
+            known = ", ".join(sorted(table)) or "<none>"
+            raise ComponentError(
+                f"no {seam!r} implementation registered under {key!r} "
+                f"(known keys: {known})"
+            )
+        return factory
+
+    def create(self, seam: str, key: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the component at ``(seam, key)``.
+
+        The created instance is checked against the seam's interface
+        (``None`` is allowed — the ``link_flow`` seam uses it for the
+        no-model baseline).
+        """
+        component = self.get(seam, key)(*args, **kwargs)
+        iface = _SEAM_INTERFACE[seam]
+        if component is not None and not isinstance(component, iface):
+            raise ComponentError(
+                f"{seam!r} implementation {key!r} produced "
+                f"{type(component).__name__}, which does not implement "
+                f"{iface.__name__}"
+            )
+        return component
+
+    def keys(self, seam: str) -> Tuple[str, ...]:
+        """Registered keys for ``seam``, sorted."""
+        table = self._factories.get(seam)
+        if table is None:
+            raise ComponentError(
+                f"unknown seam {seam!r}: expected one of {', '.join(SEAMS)}"
+            )
+        return tuple(sorted(table))
+
+    def seams(self) -> Tuple[str, ...]:
+        """All seam names."""
+        return SEAMS
+
+    def has(self, seam: str, key: str) -> bool:
+        """True when ``(seam, key)`` is registered."""
+        table = self._factories.get(seam)
+        return table is not None and key in table
+
+
+#: The process-wide registry every simulation composes from.
+COMPONENTS = ComponentRegistry()
+
+
+def register_component(
+    seam: str, key: str, *, replace: bool = False
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class/function decorator registering a factory in :data:`COMPONENTS`.
+
+    Usage (this is the whole third-party integration surface)::
+
+        @register_component("xbar", "my_model")
+        class MyXBar(CrossbarModel):
+            def __init__(self, config, dev): ...
+    """
+
+    def _decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        COMPONENTS.register(seam, key, factory, replace=replace)
+        return factory
+
+    return _decorator

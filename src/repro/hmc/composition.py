@@ -1,0 +1,114 @@
+"""Composition root: build pipeline stages from ``HMCConfig`` selections.
+
+This module is the *only* place where the simulator core meets concrete
+component implementations.  Importing it populates the component
+registry (each built-in self-registers from its home module at import
+time), and the ``build_*`` helpers below are how :class:`HMCSim` and
+:class:`Device` construct their pipeline stages — always through the
+registry, never by naming a class.  ``scripts/lint_no_function_imports.py``
+enforces that :mod:`repro.hmc.device` and :mod:`repro.hmc.sim` import no
+concrete seam implementation directly, so swapping an implementation is
+always a config change, never a core edit.
+
+Third-party components do not need this module: registering under a new
+key with :func:`repro.hmc.components.register_component` makes the key
+immediately valid in :class:`HMCConfig` (validation consults the live
+registry).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+# Importing the built-in implementation modules is what registers them:
+# each decorates its classes/factories with @register_component.
+import repro.hmc.flow  # noqa: F401  (link_flow: tokens)
+import repro.hmc.memory  # noqa: F401  (memory: paged, chunked)
+import repro.hmc.topology  # noqa: F401  (topology: chain, ring)
+import repro.hmc.vault  # noqa: F401  (vault_scheduler: fifo, round_robin)
+import repro.hmc.xbar  # noqa: F401  (xbar: queued, ideal)
+from repro.errors import HMCConfigError
+from repro.hmc.components import COMPONENTS, register_component
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hmc.components import (
+        CrossbarModel,
+        LinkFlow,
+        MemoryModel,
+        TopologyRouter,
+        VaultScheduler,
+    )
+    from repro.hmc.config import HMCConfig
+    from repro.hmc.sim import HMCSim
+
+__all__ = [
+    "SEAM_FIELDS",
+    "validate_selection",
+    "build_xbar",
+    "build_vault_scheduler",
+    "build_link_flow",
+    "build_topology",
+    "build_memory",
+]
+
+#: seam name -> HMCConfig field holding its selected key.  The names
+#: coincide by design; the mapping exists so CLI parsing and the lint
+#: script iterate seams without hard-coding the correspondence.
+SEAM_FIELDS: Dict[str, str] = {
+    "xbar": "xbar",
+    "vault_scheduler": "vault_scheduler",
+    "link_flow": "link_flow",
+    "topology": "topology",
+    "memory": "memory",
+}
+
+
+@register_component("link_flow", "none")
+def _no_flow(config: "HMCConfig") -> None:
+    """The baseline datapath (seam key ``none``): no flow-control model
+    at all, so sends are never token-limited and no retry state exists —
+    the paper's "No Simulation Perturbation" default."""
+    return None
+
+
+def validate_selection(seam: str, key: str) -> None:
+    """Raise :class:`HMCConfigError` unless ``(seam, key)`` is registered.
+
+    Called from ``HMCConfig.__post_init__`` so a bad selection fails at
+    configuration time with the known keys in the message, not deep in
+    construction.
+    """
+    if not COMPONENTS.has(seam, key):
+        known = ", ".join(COMPONENTS.keys(seam)) or "<none>"
+        raise HMCConfigError(
+            f"{SEAM_FIELDS.get(seam, seam)}={key!r} does not name a "
+            f"registered {seam} implementation (known keys: {known})"
+        )
+
+
+# -- builders (one per seam, in pipeline order) ------------------------------
+
+
+def build_xbar(config: "HMCConfig", dev: int) -> "CrossbarModel":
+    """The crossbar selected by ``config.xbar`` for device ``dev``."""
+    return COMPONENTS.create("xbar", config.xbar, config, dev)
+
+
+def build_vault_scheduler(config: "HMCConfig") -> "VaultScheduler":
+    """A fresh scheduler instance (one per vault) per ``config.vault_scheduler``."""
+    return COMPONENTS.create("vault_scheduler", config.vault_scheduler, config)
+
+
+def build_link_flow(config: "HMCConfig") -> Optional["LinkFlow"]:
+    """The flow model selected by ``config.link_flow`` (None for ``none``)."""
+    return COMPONENTS.create("link_flow", config.link_flow, config)
+
+
+def build_topology(sim: "HMCSim") -> "TopologyRouter":
+    """The multi-cube router selected by ``sim.config.topology``."""
+    return COMPONENTS.create("topology", sim.config.topology, sim)
+
+
+def build_memory(config: "HMCConfig") -> "MemoryModel":
+    """The backing store selected by ``config.memory``."""
+    return COMPONENTS.create("memory", config.memory, config.total_bytes)

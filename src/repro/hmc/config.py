@@ -14,9 +14,10 @@ depth 64, crossbar queue depth 128 — §V.B of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.errors import HMCConfigError
+from repro.hmc.composition import SEAM_FIELDS, validate_selection
 
 __all__ = ["HMCConfig", "NUM_QUADS"]
 
@@ -81,6 +82,15 @@ class HMCConfig:
     #: spec default: consecutive blocks sweep vaults, then banks) or
     #: "bank" (consecutive blocks sweep banks within one vault first).
     addr_interleave: str = "vault"
+    #: Component selections, one per pipeline seam.  Each value must
+    #: name an implementation registered with the component registry
+    #: (:mod:`repro.hmc.components`); the defaults reproduce the
+    #: paper's pipeline bit-for-bit.
+    xbar: str = "queued"
+    vault_scheduler: str = "fifo"
+    link_flow: str = "none"
+    topology: str = "chain"
+    memory: str = "paged"
 
     def __post_init__(self) -> None:
         if not 1 <= self.num_devs <= _MAX_DEVS:
@@ -113,6 +123,15 @@ class HMCConfig:
             raise HMCConfigError(
                 f"addr_interleave={self.addr_interleave!r}: must be 'vault' or 'bank'"
             )
+        for seam, field_name in SEAM_FIELDS.items():
+            validate_selection(seam, getattr(self, field_name))
+
+    def component_selection(self) -> Dict[str, str]:
+        """The selected implementation key for every pipeline seam."""
+        return {
+            seam: getattr(self, field_name)
+            for seam, field_name in SEAM_FIELDS.items()
+        }
 
     # -- derived geometry ---------------------------------------------------
 

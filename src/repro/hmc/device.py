@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.hmc.commands import COMMAND_TABLE_LIST, CommandKind, command_for_code
+from repro.hmc.components import CrossbarModel
+from repro.hmc.composition import build_vault_scheduler, build_xbar
 from repro.hmc.config import HMCConfig
 from repro.hmc.link import Link
 from repro.hmc.memory import MemoryView
@@ -28,7 +30,7 @@ from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.registers import RegisterFile
 from repro.hmc.trace import TraceLevel
 from repro.hmc.vault import Vault
-from repro.hmc.xbar import Flight, XBar
+from repro.hmc.xbar import Flight
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hmc.sim import HMCSim
@@ -51,9 +53,20 @@ class Device:
         self.links: List[Link] = [
             Link(l, config.quad_of_link(l)) for l in range(config.num_links)
         ]
-        self.xbar = XBar(config, dev)
+        # Pipeline stages come from the component registry (via the
+        # composition root), never from concrete classes: the selected
+        # implementations are config fields, and the lint gate keeps
+        # this module free of direct seam-implementation imports.
+        self.xbar: CrossbarModel = build_xbar(config, dev)
         self.vaults: List[Vault] = [
-            Vault(v, config.quad_of_vault(v), config.queue_depth, config.num_banks, dev)
+            Vault(
+                v,
+                config.quad_of_vault(v),
+                config.queue_depth,
+                config.num_banks,
+                dev,
+                scheduler=build_vault_scheduler(config),
+            )
             for v in range(config.num_vaults)
         ]
         self.registers = RegisterFile(config, dev)
@@ -201,6 +214,44 @@ class Device:
     def recv(self, link: int) -> Optional[ResponsePacket]:
         """Collect the oldest retired response on ``link``, or None."""
         return self.links[link].recv()
+
+    def route_flight(
+        self,
+        pkt: RequestPacket,
+        src_link: int,
+        inject_cycle: int,
+        *,
+        hop_delay: int = 0,
+        origin_dev: int = 0,
+        link_seq: int = -1,
+        service_until: int = -1,
+        chain_hops: int = 0,
+    ) -> Flight:
+        """Build a :class:`Flight` for ``pkt`` with routing recomputed.
+
+        The cold-path twin of the routing block in :meth:`send`:
+        checkpoint restore (and external drivers) rebuild in-flight
+        requests from bare packets here, deriving vault/bank/quad/row
+        and the command-table entry from the packet rather than
+        serializing them.
+        """
+        local = pkt.addr & self._cap_mask
+        vault = (local >> self._vault_lo) & self._vault_mask
+        return Flight(
+            pkt=pkt,
+            src_link=src_link,
+            inject_cycle=inject_cycle,
+            vault=vault,
+            bank=(local >> self._bank_lo) & self._bank_mask,
+            quad=self._quads_of_vaults[vault],
+            hop_delay=hop_delay,
+            origin_dev=origin_dev,
+            link_seq=link_seq,
+            service_until=service_until,
+            chain_hops=chain_hops,
+            info=COMMAND_TABLE_LIST[pkt.cmd],
+            row=(local >> self._row_lo) & self._row_mask,
+        )
 
     def accept_forwarded(self, flight: Flight, link: int) -> bool:
         """Receive a request forwarded from a neighbouring cube."""

@@ -26,7 +26,12 @@ With no model attached the datapath is byte-identical to the baseline
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.hmc.components import LinkFlow, register_component
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hmc.config import HMCConfig
 
 __all__ = ["ErrorModel", "LinkFlowModel", "LinkFlowState", "RetryEvent"]
 
@@ -90,7 +95,7 @@ class LinkFlowState:
     sent_packets: int = 0
 
 
-class LinkFlowModel:
+class LinkFlowModel(LinkFlow):
     """Token + retry behaviour for every request link of a context.
 
     Args:
@@ -241,3 +246,14 @@ class LinkFlowModel:
     def outstanding(self, dev: int, link: int) -> int:
         """Unacknowledged packets currently held in a retry buffer."""
         return len(self.state(dev, link).retry_buffer)
+
+
+@register_component("link_flow", "tokens")
+def _tokens_flow(config: "HMCConfig") -> LinkFlowModel:
+    """Factory for the token + retry model with default credit/latency.
+
+    Registered under seam key ``tokens``; the ``none`` key (the
+    baseline's flow-free datapath) is registered in
+    :mod:`repro.hmc.composition` and yields ``None``.
+    """
+    return LinkFlowModel()

@@ -1,12 +1,22 @@
-"""Sparse backing store for HMC device memory.
+"""Sparse backing stores for HMC device memory (seam ``memory``).
 
 HMC-Sim 1.0 modelled only request *flow*; HMC-Sim 2.0 must hold real
 data so that atomic and CMC operations can read-modify-write it.  An
-8 GB address space cannot be allocated eagerly, so the store is paged:
-4 KiB ``bytearray`` pages are materialized on first touch and untouched
-regions read as zero (the initial state the paper's mutex model relies
-on: "the mutex values are initialized to a known state that signifies
-that no locks are present").
+8 GB address space cannot be allocated eagerly, so the stores are
+paged: ``bytearray`` pages are materialized on first touch and
+untouched regions read as zero (the initial state the paper's mutex
+model relies on: "the mutex values are initialized to a known state
+that signifies that no locks are present").
+
+Two page geometries register with the component registry:
+
+* ``paged`` — 4 KiB pages (:class:`MemoryBackend`), the default.
+  Minimal resident memory for sparse traffic (a mutex hot spot touches
+  one page).
+* ``chunked`` — 64 KiB chunks (:class:`ChunkedMemoryBackend`).  Fewer,
+  larger allocations and page-table entries; the better trade for
+  dense streaming workloads (STREAM, GUPS tables) at 16x the
+  first-touch cost.
 
 Typed accessors for the 8- and 16-byte operands used by the Gen2
 atomics are provided; all multi-byte values are little-endian.
@@ -17,27 +27,43 @@ from __future__ import annotations
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import HMCAddressError
+from repro.hmc.components import MemoryModel, register_component
 
-__all__ = ["MemoryBackend", "MemoryView", "PAGE_SIZE"]
+__all__ = [
+    "MemoryBackend",
+    "ChunkedMemoryBackend",
+    "MemoryView",
+    "PAGE_SIZE",
+]
 
-#: Bytes per lazily-allocated page.
+#: Bytes per lazily-allocated page of the default (``paged``) backend.
 PAGE_SIZE = 4096
 
 _PAGE_MASK = PAGE_SIZE - 1
 
 
-class MemoryBackend:
+@register_component("memory", "paged")
+class MemoryBackend(MemoryModel):
     """Lazily paged byte-addressable memory of a fixed capacity.
 
     Args:
         capacity: total bytes addressable through this store.
     """
 
+    #: log2 of the page size; subclasses override to change geometry.
+    PAGE_SHIFT = 12
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._pages: Dict[int, bytearray] = {}
+        # Geometry constants as instance attributes: the single-page
+        # fast paths below (and MemoryView's) read these instead of
+        # module globals so subclasses change geometry for free.
+        self._shift = self.PAGE_SHIFT
+        self._psize = 1 << self.PAGE_SHIFT
+        self._pmask = self._psize - 1
 
     # -- bulk access ---------------------------------------------------------
 
@@ -51,18 +77,18 @@ class MemoryBackend:
     def read(self, addr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``addr`` (zero-fill for cold pages)."""
         self._check(addr, nbytes)
-        off = addr & _PAGE_MASK
-        if off + nbytes <= PAGE_SIZE:
+        off = addr & self._pmask
+        if off + nbytes <= self._psize:
             # Fast path: the access stays within one page (every
-            # packet-sized access — pages are 4 KiB, packets <= 256 B).
-            page = self._pages.get(addr >> 12)
+            # packet-sized access — pages are >= 4 KiB, packets <= 256 B).
+            page = self._pages.get(addr >> self._shift)
             if page is None:
                 return bytes(nbytes)
             return bytes(page[off : off + nbytes])
         out = bytearray()
         while nbytes > 0:
-            page_no, off = addr >> 12, addr & _PAGE_MASK
-            take = min(nbytes, PAGE_SIZE - off)
+            page_no, off = addr >> self._shift, addr & self._pmask
+            take = min(nbytes, self._psize - off)
             page = self._pages.get(page_no)
             if page is None:
                 out += bytes(take)
@@ -76,22 +102,22 @@ class MemoryBackend:
         """Write ``data`` starting at ``addr``."""
         self._check(addr, len(data))
         nbytes = len(data)
-        off = addr & _PAGE_MASK
-        if off + nbytes <= PAGE_SIZE:
-            page_no = addr >> 12
+        off = addr & self._pmask
+        if off + nbytes <= self._psize:
+            page_no = addr >> self._shift
             page = self._pages.get(page_no)
             if page is None:
-                page = bytearray(PAGE_SIZE)
+                page = bytearray(self._psize)
                 self._pages[page_no] = page
             page[off : off + nbytes] = data
             return
         pos = 0
         while pos < nbytes:
-            page_no, off = addr >> 12, addr & _PAGE_MASK
-            take = min(nbytes - pos, PAGE_SIZE - off)
+            page_no, off = addr >> self._shift, addr & self._pmask
+            take = min(nbytes - pos, self._psize - off)
             page = self._pages.get(page_no)
             if page is None:
-                page = bytearray(PAGE_SIZE)
+                page = bytearray(self._psize)
                 self._pages[page_no] = page
             page[off : off + take] = data[pos : pos + take]
             addr += take
@@ -134,6 +160,11 @@ class MemoryBackend:
     # -- introspection ---------------------------------------------------------
 
     @property
+    def page_size(self) -> int:
+        """Bytes per lazily-allocated page of this store."""
+        return self._psize
+
+    @property
     def resident_pages(self) -> int:
         """Number of pages materialized so far."""
         return len(self._pages)
@@ -141,12 +172,12 @@ class MemoryBackend:
     @property
     def resident_bytes(self) -> int:
         """Bytes of host memory consumed by materialized pages."""
-        return len(self._pages) * PAGE_SIZE
+        return len(self._pages) * self._psize
 
     def iter_resident(self) -> Iterator[Tuple[int, bytes]]:
         """Yield ``(base_address, page_bytes)`` for each materialized page."""
         for page_no in sorted(self._pages):
-            yield page_no << 12, bytes(self._pages[page_no])
+            yield page_no << self._shift, bytes(self._pages[page_no])
 
     def clear(self) -> None:
         """Drop every page, returning the store to all-zeros."""
@@ -158,15 +189,29 @@ class MemoryBackend:
         return MemoryView(self, base, size)
 
 
+@register_component("memory", "chunked")
+class ChunkedMemoryBackend(MemoryBackend):
+    """The ``paged`` store with 64 KiB chunks instead of 4 KiB pages.
+
+    Identical semantics and API; only the lazy-allocation granularity
+    changes.  Dense workloads touch 16x fewer page-table entries per
+    resident byte, at the cost of materializing 64 KiB on first touch.
+    """
+
+    PAGE_SHIFT = 16
+
+
 class MemoryView:
     """A bounds-checked, rebased window onto a :class:`MemoryBackend`.
 
     Exposes the same accessor API as the backend; used to hand each
     device (and the atomic unit) a view where local address 0 is the
-    device's first byte.
+    device's first byte.  The view copies the backend's page geometry
+    at construction, so its single-page fast path works for any
+    registered page size.
     """
 
-    __slots__ = ("_backend", "_base", "capacity")
+    __slots__ = ("_backend", "_base", "capacity", "_pages", "_shift", "_psize", "_pmask")
 
     def __init__(self, backend: MemoryBackend, base: int, size: int):
         if base < 0 or size < 0 or base + size > backend.capacity:
@@ -176,6 +221,13 @@ class MemoryView:
         self._backend = backend
         self._base = base
         self.capacity = size
+        # The page dict is mutated in place (clear() empties it, never
+        # rebinds), so caching the reference is safe and skips one
+        # attribute hop per access on the hot path.
+        self._pages = backend._pages
+        self._shift = backend._shift
+        self._psize = backend._psize
+        self._pmask = backend._pmask
 
     def _check(self, addr: int, nbytes: int) -> None:
         if addr < 0 or nbytes < 0 or addr + nbytes > self.capacity:
@@ -191,9 +243,9 @@ class MemoryView:
         # the backend, so go straight at the page store (single-page
         # fast path) instead of re-checking through backend.read.
         a = self._base + addr
-        off = a & _PAGE_MASK
-        if off + nbytes <= PAGE_SIZE:
-            page = self._backend._pages.get(a >> 12)
+        off = a & self._pmask
+        if off + nbytes <= self._psize:
+            page = self._pages.get(a >> self._shift)
             if page is None:
                 return bytes(nbytes)
             return bytes(page[off : off + nbytes])
@@ -204,14 +256,13 @@ class MemoryView:
         nbytes = len(data)
         self._check(addr, nbytes)
         a = self._base + addr
-        off = a & _PAGE_MASK
-        if off + nbytes <= PAGE_SIZE:
-            backend = self._backend
-            page_no = a >> 12
-            page = backend._pages.get(page_no)
+        off = a & self._pmask
+        if off + nbytes <= self._psize:
+            page_no = a >> self._shift
+            page = self._pages.get(page_no)
             if page is None:
-                page = bytearray(PAGE_SIZE)
-                backend._pages[page_no] = page
+                page = bytearray(self._psize)
+                self._pages[page_no] = page
             page[off : off + nbytes] = data
             return
         self._backend.write(a, data)

@@ -81,9 +81,23 @@ class StallQueue(Generic[T]):
 
     def requeue_head(self, item: T) -> None:
         """Put an entry back at the head (used when a pop must be undone,
-        e.g. the downstream queue stalled after the entry was taken)."""
-        self._q.appendleft(item)
-        self.pops -= 1
+        e.g. the downstream queue stalled after the entry was taken).
+
+        Always succeeds, even when the queue already sits at full
+        depth, and never records a stall or a push: the entry
+        logically still owns the slot its pop released, so re-seating
+        it is bookkeeping, not a new arrival.  The matching pop is
+        rolled back (never below zero, so an unpaired requeue cannot
+        drive ``pops`` negative), and the high-water mark absorbs the
+        momentary re-occupancy.
+        """
+        q = self._q
+        q.appendleft(item)
+        if self.pops > 0:
+            self.pops -= 1
+        n = len(q)
+        if n > self.high_water:
+            self.high_water = n
 
     def __len__(self) -> int:
         return len(self._q)

@@ -27,6 +27,7 @@ A thin functional facade with the original C names lives in
 
 from __future__ import annotations
 
+from dataclasses import replace as _cfg_replace
 from typing import IO, Dict, Optional, Set, Tuple, Union
 
 from repro.core.cmc import CMCOperation, CMCRegistry
@@ -39,14 +40,13 @@ from repro.hmc.commands import (
     command_info,
     hmc_rqst_t,
 )
+from repro.hmc.components import LinkFlow, MemoryModel, TopologyRouter
+from repro.hmc.composition import build_link_flow, build_memory, build_topology
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import Device
-from repro.hmc.flow import LinkFlowModel
-from repro.hmc.memory import MemoryBackend
 from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.power import HMCPowerModel, PowerReport
 from repro.hmc.timing import HMCTimingModel
-from repro.hmc.topology import Topology
 from repro.hmc.trace import TraceLevel, Tracer
 
 __all__ = ["HMCSim"]
@@ -60,13 +60,22 @@ class HMCSim:
             config fields as keyword arguments.
         timing: optional DRAM timing model (future-work extension).
         power: optional power model (future-work extension).
-        flow: optional link-layer flow-control/retry model.
+        flow: optional link-layer flow-control/retry model.  When
+            omitted, the model selected by ``config.link_flow`` is
+            built through the component registry (the default ``none``
+            yields no model at all).
         strict_tags: when True (default), reject a send whose tag is
             already outstanding on the same device — catching the host
             bug the 11-bit TAG field cannot express.
-        topology_kind: multi-cube wiring, "chain" (default) or "ring".
+        topology_kind: back-compat alias for ``config.topology``; when
+            given it overrides the config's selection.
         **kwargs: forwarded to :class:`HMCConfig` when ``config`` is
             not given.
+
+    Every pipeline stage — memory backend, per-device crossbars and
+    vault schedulers, link flow, and the multi-cube topology — is
+    constructed through the component registry from the selection
+    fields of :class:`HMCConfig` (see ``docs/ARCHITECTURE.md``).
     """
 
     def __init__(
@@ -75,26 +84,32 @@ class HMCSim:
         *,
         timing: Optional[HMCTimingModel] = None,
         power: Optional[HMCPowerModel] = None,
-        flow: Optional[LinkFlowModel] = None,
+        flow: Optional[LinkFlow] = None,
         strict_tags: bool = True,
-        topology_kind: str = "chain",
+        topology_kind: Optional[str] = None,
         **kwargs: object,
     ):
         if config is None:
             config = HMCConfig(**kwargs)  # type: ignore[arg-type]
         elif kwargs:
             raise HMCSimError("pass either a config object or field overrides, not both")
+        if topology_kind is not None and topology_kind != config.topology:
+            # Re-validates through HMCConfig, so an unknown kind fails
+            # with the registry's known-keys message.
+            config = _cfg_replace(config, topology=topology_kind)
         self.config = config
         self.timing = timing
         self.power = power
-        self.flow = flow
+        self.flow: Optional[LinkFlow] = (
+            flow if flow is not None else build_link_flow(config)
+        )
         self.power_report = PowerReport()
-        self.backend = MemoryBackend(config.total_bytes)
+        self.backend: MemoryModel = build_memory(config)
         self.addrmap = AddressMap(config)
         self.tracer = Tracer()
         self.cmc = CMCRegistry()
         self.devices = [Device(d, config, self) for d in range(config.num_devs)]
-        self.topology = Topology(self, kind=topology_kind)
+        self.topology: TopologyRouter = build_topology(self)
         self._cycle = 0
         self._strict_tags = strict_tags
         #: Outstanding (cub, tag) pairs, packed as ``(cub << 11) | tag``

@@ -18,16 +18,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Tuple
 
+from repro.hmc.components import TopologyRouter, register_component
 from repro.hmc.packet import ResponsePacket
 from repro.hmc.xbar import Flight
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hmc.sim import HMCSim
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "ChainTopology", "RingTopology"]
 
 
-class Topology:
+class Topology(TopologyRouter):
     """Multi-cube router: daisy chain (default) or ring.
 
     In a chain, cube *i* connects to *i±1* and packets take
@@ -124,3 +125,22 @@ class Topology:
     def in_transit(self) -> int:
         """Packets currently travelling between cubes."""
         return len(self._rqst_wire) + len(self._rsp_wire)
+
+
+@register_component("topology", "chain")
+class ChainTopology(Topology):
+    """Daisy-chain routing (seam key ``chain``, the default): cube *i*
+    connects to *i±1*; packets take ``|target - here|`` hops."""
+
+    def __init__(self, sim: "HMCSim"):
+        super().__init__(sim, kind="chain")
+
+
+@register_component("topology", "ring")
+class RingTopology(Topology):
+    """Ring routing (seam key ``ring``): the last cube connects back to
+    cube 0 and packets take the shorter way around — at most
+    ``num_devs // 2`` hops."""
+
+    def __init__(self, sim: "HMCSim"):
+        super().__init__(sim, kind="ring")

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import enum
 import io
-from typing import IO, Dict, List, Optional
+from collections import deque
+from typing import IO, Deque, Dict, Optional
 
 __all__ = ["TraceLevel", "TraceEvent", "Tracer"]
 
@@ -59,9 +60,14 @@ class TraceEvent:
 class Tracer:
     """Filters events by level and writes them to an optional handle.
 
-    When no handle is attached, enabled events are still retained in an
-    in-memory ring (bounded by ``max_buffer``) so tests and notebooks
-    can inspect them without touching the filesystem.
+    Enabled events are retained in a bounded in-memory ring of
+    ``max_buffer`` entries so tests and notebooks can inspect them
+    without touching the filesystem.  When the ring is full the
+    *oldest* event is evicted (and counted in :attr:`dropped`), so the
+    buffer always holds the most recent ``max_buffer`` events — a
+    long-running simulation's memory stays bounded while the tail of
+    the trace, the part a post-mortem needs, survives.  An attached
+    handle still receives every event.
     """
 
     def __init__(
@@ -73,7 +79,7 @@ class Tracer:
         self.level = level
         self.handle = handle
         self.max_buffer = max_buffer
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=max_buffer)
         self.dropped = 0
         self.counts: Dict[str, int] = {}
 
@@ -114,10 +120,11 @@ class Tracer:
         self.counts[level.name] = self.counts.get(level.name, 0) + 1
         if self.handle is not None:
             self.handle.write(ev.render() + "\n")
-        if len(self.events) < self.max_buffer:
-            self.events.append(ev)
-        else:
+        events = self.events
+        if len(events) == self.max_buffer:
+            # Ring is full: appending below evicts the oldest event.
             self.dropped += 1
+        events.append(ev)
 
     # -- convenience wrappers used by the pipeline ----------------------------
 

@@ -34,6 +34,7 @@ from repro.errors import (
 from repro.hmc.amo import execute_amo, is_amo
 from repro.hmc.bank import Bank
 from repro.hmc.commands import CommandKind, command_for_code, hmc_response_t
+from repro.hmc.components import VaultScheduler, register_component
 from repro.hmc.packet import RequestPacket, ResponsePacket, pack_data_cached
 from repro.hmc.queue import StallQueue
 from repro.hmc.trace import TraceLevel
@@ -48,6 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "Vault",
+    "FIFOVaultScheduler",
+    "RoundRobinVaultScheduler",
     "process_rqst",
     "ERRSTAT_GENERIC",
     "ERRSTAT_ADDRESS",
@@ -63,9 +66,23 @@ ERRSTAT_CMC_FAILED = 0x05
 
 
 class Vault:
-    """One vault: request queue + banks + issue logic."""
+    """One vault: request queue + banks + issue logic.
 
-    def __init__(self, index: int, quad: int, depth: int, num_banks: int, dev: int):
+    The per-cycle request-pick policy is a pluggable component (seam
+    ``vault_scheduler``): :meth:`step` delegates to the vault's
+    :class:`~repro.hmc.components.VaultScheduler`, which the owning
+    device creates through the component registry.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        quad: int,
+        depth: int,
+        num_banks: int,
+        dev: int,
+        scheduler: Optional[VaultScheduler] = None,
+    ):
         self.index = index
         self.quad = quad
         self.dev = dev
@@ -73,6 +90,7 @@ class Vault:
             depth, f"dev{dev}.vault{index}.rqst"
         )
         self.banks: List[Bank] = [Bank(b) for b in range(num_banks)]
+        self.scheduler: VaultScheduler = scheduler or FIFOVaultScheduler()
         self.processed = 0
         self.bank_conflicts = 0
         self.response_stalls = 0
@@ -106,39 +124,70 @@ class Vault:
     def step(self, device: "Device", cycle: int) -> None:
         """Process the request queue for this cycle.
 
-        HMC-Sim walks the *entire* vault queue each clock: the queue
-        models in-flight capacity, not issue serialization.  Entries
-        are visited in FIFO order; an entry whose bank is busy records
-        a *bank conflict* and is skipped (later entries to other banks
-        still proceed — per-bank ordering is preserved, the vault is
-        not head-of-line blocked).  Under the baseline model a bank
-        access completes within the cycle, so everything queued
-        executes in order each clock — which is what lets a queued
-        ``hmc_trylock`` acquire a lock in the same cycle the preceding
-        ``hmc_unlock`` released it, the fast handoff behind the
-        paper's ~4-cycles-per-thread scaling.  Under the timing
-        extension a request holds its bank for the DRAM service time
-        and its response is produced when service completes.
-
-        The scan stops when the vault's per-cycle response budget is
-        exhausted or the response path fills.
-
-        The walk is an allocation-free snapshot-scan: instead of
-        copying the queue (``list(self.rqst_queue)``, one list per
-        vault per cycle), it visits the head-of-deque ``n`` times,
-        rotating kept entries to the back and popping processed ones.
-        After a full scan the kept entries are back in FIFO order; an
-        early exit rotates them back explicitly.  Final queue content,
-        ordering, and push/pop counters are identical to the copying
-        scan.
+        Delegates to the vault's scheduler component: the *policy*
+        (which queued requests issue, and in what order) is the
+        pluggable part; bank occupancy, request execution, and the
+        response path are shared mechanism in this module.
         """
-        queue = self.rqst_queue
+        self.scheduler.scan(self, device, cycle)
+
+    def flush_pending(self, device: "Device", cycle: int) -> bool:
+        """Retry a blocked response push.  Returns True when unblocked."""
+        if self._pending_rsp is None:
+            return True
+        flight, rsp = self._pending_rsp
+        if device.xbar.push_response(flight.src_link, rsp):
+            self._pending_rsp = None
+            self.processed += 1
+            return True
+        self.response_stalls += 1
+        return False
+
+
+@register_component("vault_scheduler", "fifo")
+class FIFOVaultScheduler(VaultScheduler):
+    """HMC-Sim's queue-order scan (seam key ``fifo``, the default).
+
+    HMC-Sim walks the *entire* vault queue each clock: the queue
+    models in-flight capacity, not issue serialization.  Entries
+    are visited in FIFO order; an entry whose bank is busy records
+    a *bank conflict* and is skipped (later entries to other banks
+    still proceed — per-bank ordering is preserved, the vault is
+    not head-of-line blocked).  Under the baseline model a bank
+    access completes within the cycle, so everything queued
+    executes in order each clock — which is what lets a queued
+    ``hmc_trylock`` acquire a lock in the same cycle the preceding
+    ``hmc_unlock`` released it, the fast handoff behind the
+    paper's ~4-cycles-per-thread scaling.  Under the timing
+    extension a request holds its bank for the DRAM service time
+    and its response is produced when service completes.
+
+    The scan stops when the vault's per-cycle response budget is
+    exhausted or the response path fills.
+
+    The walk is an allocation-free snapshot-scan: instead of
+    copying the queue (``list(vault.rqst_queue)``, one list per
+    vault per cycle), it visits the head-of-deque ``n`` times,
+    rotating kept entries to the back and popping processed ones.
+    After a full scan the kept entries are back in FIFO order; an
+    early exit rotates them back explicitly.  Final queue content,
+    ordering, and push/pop counters are identical to the copying
+    scan.
+    """
+
+    def __init__(self, config: object = None):
+        # Stateless policy; the config argument satisfies the factory
+        # signature shared by every vault_scheduler registration.
+        pass
+
+    def scan(self, vault: Vault, device: "Device", cycle: int) -> None:
+        queue = vault.rqst_queue
         dq = queue._q
         n0 = len(dq)
         if n0 == 0:
             return
         rsp_budget = device.config.vault_rsp_rate
-        banks = self.banks
+        banks = vault.banks
         xbar = device.xbar
         tracer = device.sim.tracer
         tmask = tracer.mask
@@ -156,13 +205,13 @@ class Vault:
             if flight.service_until < 0:
                 if cycle < bank.busy_until:
                     bank.conflicts += 1
-                    self.bank_conflicts += 1
+                    vault.bank_conflicts += 1
                     if tmask & _T_BANK:
                         tracer.trace_bank_conflict(
                             cycle,
-                            dev=self.dev,
-                            quad=self.quad,
-                            vault=self.index,
+                            dev=vault.dev,
+                            quad=vault.quad,
+                            vault=vault.index,
                             bank=flight.bank,
                             addr=flight.pkt.addr,
                         )
@@ -193,15 +242,15 @@ class Vault:
                     # Response path full.  The memory side effect has
                     # already happened, so hold the *response* (not the
                     # request) and block the vault until it is accepted.
-                    self.response_stalls += 1
+                    vault.response_stalls += 1
                     if tmask & _T_STALL:
                         tracer.trace_stall(
                             cycle,
-                            where=f"vault{self.index}.rsp",
-                            dev=self.dev,
+                            where=f"vault{vault.index}.rsp",
+                            dev=vault.dev,
                             src=flight.src_link,
                         )
-                    self._pending_rsp = (flight, rsp)
+                    vault._pending_rsp = (flight, rsp)
                     dq.popleft()
                     queue.pops += 1
                     if kept:
@@ -210,20 +259,103 @@ class Vault:
                 rsp_budget -= 1
             dq.popleft()
             queue.pops += 1
-            self.processed += 1
+            vault.processed += 1
             visited += 1
 
-    def flush_pending(self, device: "Device", cycle: int) -> bool:
-        """Retry a blocked response push.  Returns True when unblocked."""
-        if self._pending_rsp is None:
-            return True
-        flight, rsp = self._pending_rsp
-        if device.xbar.push_response(flight.src_link, rsp):
-            self._pending_rsp = None
-            self.processed += 1
-            return True
-        self.response_stalls += 1
-        return False
+
+@register_component("vault_scheduler", "round_robin")
+class RoundRobinVaultScheduler(VaultScheduler):
+    """Bank-fair scan (seam key ``round_robin``).
+
+    Visits queued requests grouped by target bank, starting from a
+    bank pointer that advances one bank per cycle, so no bank can
+    monopolize the vault's per-cycle response budget.  *Within* a
+    bank, requests still issue in arrival (FIFO) order — per-bank
+    program order is preserved, so single-location workloads (the
+    paper's mutex hot spot) and commutative updates (GUPS XOR) reach
+    bit-identical memory states; only cross-bank interleaving, and
+    therefore response timing, differs from the ``fifo`` policy.
+
+    Mechanism semantics mirror :class:`FIFOVaultScheduler` exactly:
+    same response budget, same bank-conflict accounting, same timing
+    occupancy, and the same response-path parking (``_pending_rsp``)
+    with head-of-line blocking until the crossbar accepts.
+    """
+
+    def __init__(self, config: object = None):
+        self._next_bank = 0
+
+    def scan(self, vault: Vault, device: "Device", cycle: int) -> None:
+        queue = vault.rqst_queue
+        dq = queue._q
+        if not dq:
+            return
+        num_banks = len(vault.banks)
+        start = self._next_bank
+        self._next_bank = (start + 1) % num_banks
+        entries = list(dq)
+        # Stable sort by (distance from the start bank, arrival index):
+        # banks take round-robin turns while each bank's own requests
+        # keep FIFO order.
+        order = sorted(
+            range(len(entries)),
+            key=lambda i: ((entries[i].bank - start) % num_banks, i),
+        )
+        rsp_budget = device.config.vault_rsp_rate
+        banks = vault.banks
+        xbar = device.xbar
+        tracer = device.sim.tracer
+        tmask = tracer.mask
+        removed: Set[int] = set()
+        for i in order:
+            if rsp_budget <= 0:
+                break
+            flight = entries[i]
+            bank = banks[flight.bank]
+            if flight.service_until < 0:
+                if cycle < bank.busy_until:
+                    bank.conflicts += 1
+                    vault.bank_conflicts += 1
+                    if tmask & _T_BANK:
+                        tracer.trace_bank_conflict(
+                            cycle,
+                            dev=vault.dev,
+                            quad=vault.quad,
+                            vault=vault.index,
+                            bank=flight.bank,
+                            addr=flight.pkt.addr,
+                        )
+                    continue
+                busy = _occupy(device, bank, cycle, flight)
+                if busy > 0:
+                    flight.service_until = cycle + busy
+                    continue
+            elif cycle < flight.service_until:
+                continue
+
+            rsp = process_rqst(device, flight, cycle)
+
+            if rsp is not None:
+                if not xbar.push_response(flight.src_link, rsp):
+                    vault.response_stalls += 1
+                    if tmask & _T_STALL:
+                        tracer.trace_stall(
+                            cycle,
+                            where=f"vault{vault.index}.rsp",
+                            dev=vault.dev,
+                            src=flight.src_link,
+                        )
+                    vault._pending_rsp = (flight, rsp)
+                    removed.add(i)
+                    queue.pops += 1
+                    break
+                rsp_budget -= 1
+            removed.add(i)
+            queue.pops += 1
+            vault.processed += 1
+        if removed:
+            dq.clear()
+            dq.extend(e for j, e in enumerate(entries) if j not in removed)
 
 
 def _error_response(

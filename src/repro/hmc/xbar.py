@@ -22,14 +22,17 @@ queueing-dominated model).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.hmc.commands import CommandInfo
-from repro.hmc.config import HMCConfig
+from repro.hmc.components import CrossbarModel, register_component
 from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.queue import StallQueue
 
-__all__ = ["Flight", "XBar"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hmc.config import HMCConfig
+
+__all__ = ["Flight", "XBar", "IdealXBar"]
 
 
 @dataclass(eq=False, slots=True)
@@ -65,18 +68,25 @@ class Flight:
     row: int = field(default=-1, compare=False)
 
 
-class XBar:
-    """The crossbar of one device."""
+@register_component("xbar", "queued")
+class XBar(CrossbarModel):
+    """The bounded-queue crossbar of one device (seam key ``queued``).
 
-    def __init__(self, config: HMCConfig, dev: int):
+    Per-link request/response queues of ``config.xbar_depth`` slots;
+    a full queue back-pressures the sender — the capacity model behind
+    the paper's Figures 5-7.
+    """
+
+    def __init__(self, config: HMCConfig, dev: int, *, depth: int = 0):
         self.config = config
         self.dev = dev
+        depth = depth or config.xbar_depth
         self.rqst_queues: List[StallQueue] = [
-            StallQueue(config.xbar_depth, f"dev{dev}.link{l}.xbar_rqst")
+            StallQueue(depth, f"dev{dev}.link{l}.xbar_rqst")
             for l in range(config.num_links)
         ]
         self.rsp_queues: List[StallQueue] = [
-            StallQueue(config.xbar_depth, f"dev{dev}.link{l}.xbar_rsp")
+            StallQueue(depth, f"dev{dev}.link{l}.xbar_rsp")
             for l in range(config.num_links)
         ]
         # O(1) occupancy counters maintained by every queue mutation
@@ -157,3 +167,23 @@ class XBar:
     def occupancy(self) -> int:
         """Entries currently queued across all crossbar queues."""
         return self.rqst_occ + self.rsp_occ
+
+
+#: Queue depth used by the ideal crossbar: deep enough that no workload
+#: ever fills it, so inject/push_response never stall.
+_IDEAL_DEPTH = 1 << 30
+
+
+@register_component("xbar", "ideal")
+class IdealXBar(XBar):
+    """A capacity-unconstrained crossbar (seam key ``ideal``).
+
+    The classic ablation model: identical routing and ordering, but the
+    per-link queues are effectively infinite, so the crossbar never
+    back-pressures the host or the vault response path.  Comparing a
+    run against the ``queued`` model isolates how much of a workload's
+    queueing delay the crossbar capacity itself contributes.
+    """
+
+    def __init__(self, config: HMCConfig, dev: int):
+        super().__init__(config, dev, depth=_IDEAL_DEPTH)

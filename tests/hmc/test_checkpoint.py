@@ -64,6 +64,71 @@ class TestSaveRestore:
         assert 125 in sim2.cmc
 
 
+class TestMidFlightTopology:
+    """Version 2: packets on the inter-cube wire checkpoint and restore."""
+
+    def _wait_for_wire(self, sim, attr):
+        # Clock until packets sit only on the topology wire (devices
+        # quiesced), which is the earliest checkpointable mid-flight state.
+        for _ in range(50):
+            sim.clock()
+            if getattr(sim.topology, attr) and not any(
+                d.busy() for d in sim.devices
+            ):
+                return True
+        return False
+
+    def test_request_wire_roundtrip(self, tmp_path):
+        cfg = HMCConfig.cfg_4link_4gb(num_devs=2)
+        sim = HMCSim(cfg)
+        sim.mem_write(0x80, b"\x05" + bytes(15), dev=1)
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x80, 3, cub=1))
+        assert self._wait_for_wire(sim, "_rqst_wire")
+        assert sim.topology.in_transit == 1
+
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg)
+        restore_checkpoint(sim2, p)
+        assert sim2.cycle == sim.cycle
+        assert sim2.topology.in_transit == 1
+        assert sim2.topology.forwarded_requests == sim.topology.forwarded_requests
+
+        # Both contexts finish the round trip identically.
+        sim.drain()
+        sim2.drain()
+        r1, r2 = sim.recv(), sim2.recv()
+        assert r1 is not None and r2 is not None
+        assert (r1.tag, r1.data, r1.retire_cycle) == (r2.tag, r2.data, r2.retire_cycle)
+        assert sim.cycle == sim2.cycle
+
+    def test_response_wire_roundtrip(self, tmp_path):
+        cfg = HMCConfig.cfg_4link_4gb(num_devs=2)
+        sim = HMCSim(cfg)
+        sim.mem_write(0x40, b"\xbe" * 16, dev=1)
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x40, 9, cub=1))
+        assert self._wait_for_wire(sim, "_rsp_wire")
+
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg)
+        restore_checkpoint(sim2, p)
+        sim.drain()
+        sim2.drain()
+        r1, r2 = sim.recv(), sim2.recv()
+        assert r1 is not None and r2 is not None
+        assert r1.data == r2.data == b"\xbe" * 16
+        assert sim.cycle == sim2.cycle
+
+    def test_component_selection_in_fingerprint(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())
+        for seam in ("xbar", "vault_scheduler", "link_flow", "topology", "memory"):
+            assert seam in doc["config"]
+        other = HMCSim(HMCConfig.cfg_4link_4gb(vault_scheduler="round_robin"))
+        with pytest.raises(HMCSimError, match="does not match"):
+            restore_checkpoint(other, p)
+
+
 class TestGuards:
     def test_cannot_checkpoint_in_flight(self, cfg4, tmp_path):
         sim = HMCSim(cfg4)

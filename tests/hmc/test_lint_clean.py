@@ -45,6 +45,25 @@ def test_lint_flags_a_planted_violation(tmp_path: Path) -> None:
     assert "hot.py" in diags[0] and "process" in diags[0]
 
 
+def test_core_modules_build_seams_through_registry_only() -> None:
+    lint = _load_lint()
+    diags = lint.run_seam_check()
+    assert diags == [], "\n".join(diags)
+
+
+def test_seam_check_flags_a_planted_violation(tmp_path: Path) -> None:
+    """A core module importing a concrete seam class is caught."""
+    lint = _load_lint()
+    bad = tmp_path / "device.py"
+    bad.write_text(
+        "from repro.hmc.xbar import Flight, XBar\n"  # Flight is fine, XBar is not
+        "from repro.hmc.composition import build_xbar\n"
+    )
+    diags = lint.run_seam_check(core_paths=(bad,))
+    assert len(diags) == 1
+    assert "XBar" in diags[0] and "composition" in diags[0]
+
+
 def test_lint_script_runs_standalone() -> None:
     import subprocess
 

@@ -126,7 +126,7 @@ class TestTracingAPI:
 
     def test_trace_off_by_default(self, sim, do_roundtrip):
         do_roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0, 1))
-        assert sim.tracer.events == []
+        assert list(sim.tracer.events) == []
 
 
 class TestCheckCRC:

@@ -9,7 +9,7 @@ class TestLevels:
     def test_none_records_nothing(self):
         t = Tracer(TraceLevel.NONE)
         t.trace_stall(1, where="x", dev=0, src=0)
-        assert t.events == []
+        assert list(t.events) == []
 
     def test_all_includes_every_category(self):
         for lvl in (TraceLevel.BANK, TraceLevel.QUEUE, TraceLevel.CMD,
@@ -88,11 +88,36 @@ class TestBuffering:
         assert t.dropped == 3
         assert t.counts["STALL"] == 5
 
+    def test_ring_retains_most_recent_events(self):
+        # The bounded buffer is a ring: overflow evicts the *oldest*
+        # event, so a post-mortem sees the tail of the trace.
+        t = Tracer(TraceLevel.STALL, max_buffer=3)
+        for i in range(10):
+            t.trace_stall(i, where="q", dev=0, src=0)
+        assert [ev.cycle for ev in t.events] == [7, 8, 9]
+        assert t.dropped == 7
+
+    def test_ring_never_exceeds_max_buffer(self):
+        t = Tracer(TraceLevel.STALL, max_buffer=4)
+        for i in range(100):
+            t.trace_stall(i, where="q", dev=0, src=0)
+            assert len(t.events) <= 4
+
+    def test_handle_receives_evicted_events(self):
+        # The ring bounds memory, not the attached stream: every event
+        # still reaches the handle.
+        buf = io.StringIO()
+        t = Tracer(TraceLevel.STALL, handle=buf, max_buffer=2)
+        for i in range(6):
+            t.trace_stall(i, where="q", dev=0, src=0)
+        assert buf.getvalue().count("\n") == 6
+        assert len(t.events) == 2
+
     def test_clear(self):
         t = Tracer(TraceLevel.ALL)
         t.trace_power(1, op="INC8", energy_pj=12.5)
         t.clear()
-        assert t.events == [] and t.counts == {} and t.dropped == 0
+        assert list(t.events) == [] and t.counts == {} and t.dropped == 0
 
     def test_power_rounding(self):
         t = Tracer(TraceLevel.POWER)

@@ -154,3 +154,42 @@ class TestCommands:
     def test_unknown_table_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "3"])
+
+
+class TestComponentFlag:
+    def test_info_lists_registered_components(self):
+        rc, out = run_cli("info")
+        assert rc == 0
+        assert "pipeline components" in out
+        assert "xbar: ideal, queued*" in out
+        assert "vault_scheduler: fifo*, round_robin" in out
+
+    def test_kernel_with_component_override(self):
+        rc, out = run_cli(
+            "kernel", "mutex", "--threads", "4",
+            "--component", "xbar=ideal",
+            "--component", "vault_scheduler=round_robin",
+        )
+        assert rc == 0
+        assert "mutex x4" in out
+
+    def test_unknown_seam_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["kernel", "mutex", "--component", "warp=fast"]
+            )
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["kernel", "mutex", "--component", "xbar=warp"]
+            )
+
+    def test_configs_apply_overrides(self):
+        from repro.cli import _configs
+
+        cfgs = _configs("both", [("xbar", "ideal"), ("memory", "chunked")])
+        for cfg in cfgs:
+            assert cfg.xbar == "ideal"
+            assert cfg.memory == "chunked"
+            assert cfg.vault_scheduler == "fifo"  # untouched seams keep defaults
