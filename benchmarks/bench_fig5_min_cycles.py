@@ -1,6 +1,7 @@
 """E5 — Figure 5: minimum lock cycles vs thread count (2..100).
 
-Regenerates the MIN_CYCLE series for both evaluation configurations.
+Regenerates the MIN_CYCLE series for both evaluation configurations
+from the shared session sweep (parallelizable via ``REPRO_JOBS``).
 The paper's observations, asserted here: the configurations are
 identical at low thread counts, the overall minimum is 6 cycles, and
 beyond ~50 threads the 8-link device posts minimum timings at least

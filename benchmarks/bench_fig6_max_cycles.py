@@ -1,6 +1,7 @@
 """E6 — Figure 6: maximum lock cycles vs thread count (2..100).
 
-Regenerates the MAX_CYCLE series.  Paper anchors asserted: the
+Regenerates the MAX_CYCLE series from the shared session sweep
+(parallelizable via ``REPRO_JOBS``).  Paper anchors asserted: the
 worst-case maxima land near the paper's 392 (4-link) / 387 (8-link),
 the series grows with thread count, and the 8-link worst case is
 better by a small margin ("only 1.2%" in the paper; we allow <10%).

@@ -1,6 +1,7 @@
 """E7 — Figure 7: average lock cycles vs thread count (2..100).
 
-Regenerates the AVG_CYCLE series.  Paper anchors asserted: worst-case
+Regenerates the AVG_CYCLE series from the shared session sweep
+(parallelizable via ``REPRO_JOBS``).  Paper anchors asserted: worst-case
 averages near the paper's 226.48 (4-link) / 221.48 (8-link), with the
 8-link device ahead by a small margin ("only 2.2%"; we allow <10%).
 """

@@ -65,7 +65,11 @@ def test_perf_core(benchmark, artifact_dir):
         baseline = json.loads(BASELINE.read_text())
         if baseline["meta"]["sweep_step"] == step:
             for name, r in results.items():
-                assert r["sim_cycles"] == baseline["results"][name]["sim_cycles"]
+                # Benchmarks added after the seed (e.g. the parallel
+                # sweep) have no baseline row; parity for those is
+                # asserted inside the driver against the serial entry.
+                if name in baseline["results"]:
+                    assert r["sim_cycles"] == baseline["results"][name]["sim_cycles"]
             text += "\nsim_cycles match the seed baseline (engine parity)."
 
     emit(artifact_dir, "perf_core", text)

@@ -3,6 +3,8 @@
 Loads the three mutex plugins into a live context, regenerates
 Table V from their actual registrations, and benchmarks one full
 lock / trylock / unlock round-trip sequence through the pipeline.
+(No sweep here, so ``REPRO_JOBS`` has nothing to fan out — the table
+is a single in-process round trip by construction.)
 """
 
 from conftest import emit

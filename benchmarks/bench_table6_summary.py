@@ -1,6 +1,7 @@
 """E8 — Table VI: CMC mutex operation summary (min/max/avg).
 
-Regenerates Table VI from the full sweep and pins the paper anchors:
+Regenerates Table VI from the full shared session sweep
+(parallelizable via ``REPRO_JOBS``) and pins the paper anchors:
 minimum 6 cycles on both devices; the worst-case maximum and average
 within the paper's magnitude; and the 8-link device ahead on both
 metrics by a small margin.

@@ -4,7 +4,10 @@ The three figures and Table VI are views of one sweep (Algorithm 1,
 threads 2..100, both configurations), so the sweep is computed once
 per session and shared.  Set ``REPRO_SWEEP_STEP=<k>`` to thin the
 thread axis (every k-th count, always including 2, 99, and 100) for
-quick runs; the default regenerates the paper's full axis.
+quick runs; the default regenerates the paper's full axis.  Set
+``REPRO_JOBS=<n>`` to fan the sweep's independent points across n
+worker processes (0 = all cores) — results are bit-identical to the
+serial run (see ``docs/PERFORMANCE.md``, "Parallel execution").
 
 Every benchmark also writes its regenerated artifact to
 ``benchmarks/out/<name>.txt`` so the output survives pytest's capture.
@@ -32,13 +35,19 @@ def thread_axis() -> List[int]:
     return counts
 
 
+def sweep_jobs() -> int:
+    """Worker processes for the shared sweep (``REPRO_JOBS``, default 1)."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def sweeps() -> List[MutexSweep]:
     """[4Link-4GB sweep, 8Link-8GB sweep] over the configured axis."""
     axis = thread_axis()
+    jobs = sweep_jobs()
     return [
-        run_mutex_sweep(HMCConfig.cfg_4link_4gb(), axis),
-        run_mutex_sweep(HMCConfig.cfg_8link_8gb(), axis),
+        run_mutex_sweep(HMCConfig.cfg_4link_4gb(), axis, jobs=jobs),
+        run_mutex_sweep(HMCConfig.cfg_8link_8gb(), axis, jobs=jobs),
     ]
 
 

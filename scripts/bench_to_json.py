@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Measure simulator-core throughput and emit ``BENCH_core.json``.
 
-Three wall-clock benchmarks exercise the cycle-engine hot path:
+Four wall-clock benchmarks exercise the cycle-engine hot path:
 
 * **mutex_sweep** — the paper's Algorithm-1 sweep (Figures 5-7 /
   Table VI) over a thinned thread axis (``REPRO_SWEEP_STEP``, default
-  7) on both evaluation configurations;
+  7) on both evaluation configurations, executed serially;
+* **mutex_sweep_parallel** — the same sweep fanned across the
+  runner's cores by the parallel experiment engine
+  (``repro.parallel``), cache disabled so the wall clock measures
+  real simulation; records the worker count and the speedup vs the
+  serial entry of the same run (``REPRO_JOBS`` overrides the worker
+  count; on a single-core runner the honest ratio is ~1x);
 * **stream_triad** — stride-1 STREAM Triad (bandwidth-shaped traffic
   touching every vault);
 * **gups** — RandomAccess atomic-offload scatter.
@@ -40,6 +46,7 @@ from typing import Dict
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.analysis.sweep import run_mutex_sweep  # noqa: E402
 from repro.hmc.config import HMCConfig  # noqa: E402
 from repro.host.kernels.gups import run_gups  # noqa: E402
 from repro.host.kernels.mutex_kernel import run_mutex_workload  # noqa: E402
@@ -69,6 +76,28 @@ def bench_mutex_sweep(step: int) -> Dict[str, object]:
         "cycles_per_sec": round(cycles / wall, 1),
         "points": len(axis) * 2,
         "sweep_step": step,
+    }
+
+
+def bench_mutex_sweep_parallel(step: int, serial_wall: float) -> Dict[str, object]:
+    jobs = int(os.environ.get("REPRO_JOBS", "0")) or (os.cpu_count() or 1)
+    axis = _axis(step)
+    t0 = time.perf_counter()
+    sweeps = [
+        run_mutex_sweep(cfg, axis, jobs=jobs, use_cache=False)
+        for cfg in (HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb())
+    ]
+    wall = time.perf_counter() - t0
+    cycles = sum(r.total_cycles for s in sweeps for r in s.runs)
+    return {
+        "wall_s": round(wall, 4),
+        "sim_cycles": cycles,
+        "cycles_per_sec": round(cycles / wall, 1),
+        "points": len(axis) * 2,
+        "sweep_step": step,
+        "jobs": jobs,
+        "host_cores": os.cpu_count() or 1,
+        "speedup_vs_serial": round(serial_wall / wall, 2) if wall else None,
     }
 
 
@@ -107,8 +136,16 @@ def bench_gups() -> Dict[str, object]:
 
 
 def run_all(step: int) -> Dict[str, Dict[str, object]]:
+    serial = bench_mutex_sweep(step)
+    parallel = bench_mutex_sweep_parallel(step, serial["wall_s"])
+    # The parallel engine's whole contract: identical simulated work.
+    assert parallel["sim_cycles"] == serial["sim_cycles"], (
+        f"parallel sweep simulated {parallel['sim_cycles']} cycles, "
+        f"serial {serial['sim_cycles']} — determinism broken"
+    )
     return {
-        "mutex_sweep": bench_mutex_sweep(step),
+        "mutex_sweep": serial,
+        "mutex_sweep_parallel": parallel,
         "stream_triad": bench_stream_triad(),
         "gups": bench_gups(),
     }

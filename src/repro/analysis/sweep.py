@@ -2,18 +2,35 @@
 
 One full sweep runs Algorithm 1 for every thread count from 2 to 100
 on both the 4Link-4GB and 8Link-8GB configurations.  The three figures
-and Table VI are all views of the same sweep, so the result is cached
-per (configuration, range) within the process — the figure benches
-share one simulation pass exactly like the paper's data collection.
+and Table VI are all views of the same sweep, so results are cached at
+two levels:
+
+* a small **in-process memo** (bounded LRU) returning the *same*
+  :class:`MutexSweep` object for a repeated request, so the figure
+  benches share one simulation pass exactly like the paper's data
+  collection;
+* the **persistent on-disk cache** of :mod:`repro.parallel.cache`,
+  keyed per point by (config fingerprint, component fingerprint,
+  kernel version tag, thread count) — precise enough that component
+  overrides can never alias, and shared across processes and sessions.
+
+``jobs=N`` fans the sweep's independent points across a worker pool
+(:class:`repro.parallel.pool.SweepExecutor`); results are reassembled
+in axis order, so a parallel sweep is bit-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.hmc.config import HMCConfig
-from repro.host.kernels.mutex_kernel import MutexRunStats, run_mutex_workload
+from repro.host.kernels.mutex_kernel import MutexRunStats, mutex_task_spec
+from repro.parallel.cache import SweepCache
+from repro.parallel.pool import SweepExecutor
+from repro.parallel.progress import ProgressFn
+from repro.parallel.tasks import cache_key
 
 __all__ = ["MutexSweep", "run_mutex_sweep", "PAPER_THREAD_RANGE", "paper_configs"]
 
@@ -67,7 +84,13 @@ class MutexSweep:
         return max(self.runs, key=lambda r: r.max_cycle)
 
 
-_CACHE: Dict[Tuple[str, Tuple[int, ...]], MutexSweep] = {}
+# In-process identity memo: a repeated request for the same sweep (same
+# per-point cache keys, i.e. same config, components, kernel version,
+# and axis) returns the same MutexSweep object.  Bounded, unlike the
+# retired module-level _CACHE dict it replaces; the durable layer is
+# the per-point disk cache.
+_MEMO: "OrderedDict[Tuple[str, ...], MutexSweep]" = OrderedDict()
+_MEMO_MAX = 32
 
 
 def run_mutex_sweep(
@@ -75,6 +98,9 @@ def run_mutex_sweep(
     thread_counts: Optional[Sequence[int]] = None,
     *,
     use_cache: bool = True,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> MutexSweep:
     """Run (or fetch the cached) Algorithm-1 sweep for one configuration.
 
@@ -82,16 +108,31 @@ def run_mutex_sweep(
         config: device configuration.
         thread_counts: thread counts to sweep (default: the paper's
             2..100).
-        use_cache: reuse a previous in-process sweep of the same
-            configuration and range.
+        use_cache: reuse earlier work — the in-process memo and the
+            persistent per-point disk cache.  False bypasses both and
+            recomputes every point.
+        jobs: worker processes for the sweep's independent points;
+            1 (default) runs in-process, 0 uses every core.  Results
+            are bit-identical for any value.
+        cache: explicit disk cache instance (default location
+            otherwise; see :func:`repro.parallel.cache.default_cache_root`).
+        progress: per-point completion callback
+            (:mod:`repro.parallel.progress`).
     """
     counts = tuple(thread_counts) if thread_counts is not None else PAPER_THREAD_RANGE
-    key = (repr(config), counts)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    sweep = MutexSweep(config_name=config.describe())
-    for n in counts:
-        sweep.runs.append(run_mutex_workload(config, n))
+    specs = [mutex_task_spec(config, n) for n in counts]
+    memo_key = tuple(cache_key(s) for s in specs)
+    if use_cache and memo_key in _MEMO:
+        _MEMO.move_to_end(memo_key)
+        return _MEMO[memo_key]
+    if use_cache and cache is None:
+        cache = SweepCache()
+    executor = SweepExecutor(
+        jobs=jobs, cache=cache if use_cache else None, progress=progress
+    )
+    sweep = MutexSweep(config_name=config.describe(), runs=executor.run(specs))
     if use_cache:
-        _CACHE[key] = sweep
+        _MEMO[memo_key] = sweep
+        while len(_MEMO) > _MEMO_MAX:
+            _MEMO.popitem(last=False)
     return sweep

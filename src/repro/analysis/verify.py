@@ -63,12 +63,17 @@ def verify_all(
     sweeps: Optional[Sequence[MutexSweep]] = None,
     *,
     thread_counts: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[Anchor]:
     """Measure every anchor; returns the verdicts (most exact first).
 
     Args:
         sweeps: pre-computed [4-link, 8-link] sweeps (run if omitted).
         thread_counts: thread axis when running the sweeps here.
+        jobs: worker processes for the sweeps (bit-identical results
+            for any value; see :mod:`repro.parallel`).
+        use_cache: reuse the persistent sweep cache.
     """
     rows = {r.amo_type: r for r in table2_rows()}
     anchors = [
@@ -94,8 +99,12 @@ def verify_all(
 
     if sweeps is None:
         sweeps = [
-            run_mutex_sweep(HMCConfig.cfg_4link_4gb(), thread_counts),
-            run_mutex_sweep(HMCConfig.cfg_8link_8gb(), thread_counts),
+            run_mutex_sweep(
+                HMCConfig.cfg_4link_4gb(), thread_counts, jobs=jobs, use_cache=use_cache
+            ),
+            run_mutex_sweep(
+                HMCConfig.cfg_8link_8gb(), thread_counts, jobs=jobs, use_cache=use_cache
+            ),
         ]
     s4, s8 = sweeps
     _, min4, max4, avg4 = s4.table6_row()

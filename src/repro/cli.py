@@ -30,6 +30,7 @@ from repro.hmc.commands import CMC_CODES, DEFINED_CODES
 from repro.hmc.components import COMPONENTS
 from repro.hmc.composition import SEAM_FIELDS
 from repro.hmc.config import HMCConfig
+from repro.parallel.progress import make_progress
 
 __all__ = ["main", "build_parser"]
 
@@ -96,6 +97,26 @@ def _add_component_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep points (0 = all cores; "
+        "results are bit-identical for any value)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent sweep result cache and recompute",
+    )
+
+
+def _sweep_kwargs(args) -> dict:
+    """run_mutex_sweep keyword arguments from the jobs/cache flags."""
+    kwargs: dict = {"jobs": args.jobs, "use_cache": not args.no_cache}
+    if args.jobs != 1:
+        kwargs["progress"] = make_progress(sys.stderr)
+    return kwargs
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -111,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread axis for table 6 (default 2:100)",
     )
     _add_component_arg(p_table)
+    _add_jobs_args(p_table)
 
     p_sweep = sub.add_parser("sweep", help="run the Figures 5-7 thread sweep")
     p_sweep.add_argument(
@@ -123,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--plot", action="store_true", help="render ASCII charts")
     p_sweep.add_argument("--csv", metavar="PATH", help="export the series as CSV")
     _add_component_arg(p_sweep)
+    _add_jobs_args(p_sweep)
 
     p_kernel = sub.add_parser("kernel", help="run one workload kernel")
     p_kernel.add_argument(
@@ -163,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=_parse_threads, default=None,
         help="thread axis for the sweep anchors (default 2:100)",
     )
+    _add_jobs_args(p_verify)
 
     sub.add_parser("info", help="show command space and configurations")
     return parser
@@ -182,14 +206,17 @@ def _cmd_table(args, out) -> int:
         out.write(_tables.render_table5(sim.cmc) + "\n")
     else:
         counts = args.threads or _parse_threads("2:100")
-        sweeps = [run_mutex_sweep(c, counts) for c in _configs("both", args.components)]
+        sweeps = [
+            run_mutex_sweep(c, counts, **_sweep_kwargs(args))
+            for c in _configs("both", args.components)
+        ]
         out.write(_tables.render_table6(sweeps) + "\n")
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
     sweeps = [
-        run_mutex_sweep(c, args.threads)
+        run_mutex_sweep(c, args.threads, **_sweep_kwargs(args))
         for c in _configs(args.config, args.components)
     ]
     for title, attr in [
@@ -362,7 +389,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.command == "verify":
         from repro.analysis.verify import render_verification_report, verify_all
 
-        anchors = verify_all(thread_counts=args.threads)
+        anchors = verify_all(
+            thread_counts=args.threads,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
         out.write(render_verification_report(anchors) + "\n")
         return 0 if all(a.passed for a in anchors) else 1
     return _cmd_info(out)

@@ -35,12 +35,30 @@ from repro.hmc.config import HMCConfig
 from repro.hmc.sim import HMCSim
 from repro.host.engine import EngineResult, HostEngine
 from repro.host.thread import Program, ThreadCtx
+from repro.parallel.tasks import TaskSpec
 
-__all__ = ["mutex_program", "run_mutex_workload", "MutexRunStats", "DEFAULT_LOCK_ADDR"]
+__all__ = [
+    "mutex_program",
+    "run_mutex_workload",
+    "MutexRunStats",
+    "DEFAULT_LOCK_ADDR",
+    "KERNEL_VERSION",
+    "mutex_task_spec",
+    "run_task_spec",
+]
 
 #: Lock placement used by the reproduction runs: one 16-byte block,
 #: vault 0 / bank 0 (any single address reproduces the hot spot).
 DEFAULT_LOCK_ADDR = 0x0
+
+#: Cycle-semantics tag of this kernel, part of every sweep-cache key.
+#: Bump whenever a change alters the simulated results of Algorithm 1
+#: (engine-parity golden regeneration is the usual trigger), so stale
+#: cached points can never be served as current ones.
+KERNEL_VERSION = "mutex-1"
+
+#: Deadlock guard used by the paper sweeps.
+DEFAULT_MAX_CYCLES = 1_000_000
 
 
 def mutex_program(ctx: ThreadCtx, lock_addr: int = DEFAULT_LOCK_ADDR) -> Program:
@@ -76,7 +94,7 @@ def run_mutex_workload(
     *,
     lock_addr: int = DEFAULT_LOCK_ADDR,
     sim: Optional[HMCSim] = None,
-    max_cycles: int = 1_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> MutexRunStats:
     """Run Algorithm 1 with ``num_threads`` threads on ``config``.
 
@@ -111,4 +129,39 @@ def run_mutex_workload(
         total_cycles=result.total_cycles,
         send_stalls=result.send_stalls,
         cmc_executions=cmc_execs,
+    )
+
+
+def mutex_task_spec(
+    config: HMCConfig,
+    num_threads: int,
+    *,
+    lock_addr: int = DEFAULT_LOCK_ADDR,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> TaskSpec:
+    """One picklable sweep point for the parallel experiment engine.
+
+    The spec captures everything :func:`run_mutex_workload` needs, so
+    a worker process reproduces the point from scratch; its cache key
+    folds in :data:`KERNEL_VERSION` plus the config and component
+    fingerprints (see :mod:`repro.parallel.tasks`).
+    """
+    return TaskSpec(
+        kernel="mutex",
+        kernel_version=KERNEL_VERSION,
+        runner="repro.host.kernels.mutex_kernel:run_task_spec",
+        config=config,
+        threads=num_threads,
+        params=(("lock_addr", lock_addr), ("max_cycles", max_cycles)),
+    )
+
+
+def run_task_spec(spec: TaskSpec) -> MutexRunStats:
+    """Execute a spec built by :func:`mutex_task_spec` (worker entry)."""
+    params = spec.param_dict()
+    return run_mutex_workload(
+        spec.config,
+        spec.threads,
+        lock_addr=params.get("lock_addr", DEFAULT_LOCK_ADDR),
+        max_cycles=params.get("max_cycles", DEFAULT_MAX_CYCLES),
     )

@@ -1,0 +1,71 @@
+"""Progress reporting hooks for the parallel experiment engine.
+
+The executor reports completion through a plain callback::
+
+    def progress(done: int, total: int, spec: TaskSpec, cached: bool) -> None
+
+called once per finished point (cache hits included, flagged), in
+result order.  :class:`ProgressPrinter` is the stock implementation
+used by the CLI's ``--jobs`` runs; ``null_progress`` is the default
+no-op.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Any, Callable, Optional
+
+__all__ = ["ProgressFn", "ProgressPrinter", "make_progress", "null_progress"]
+
+#: Signature of the executor's progress hook.
+ProgressFn = Callable[[int, int, Any, bool], None]
+
+
+def null_progress(done: int, total: int, spec: Any, cached: bool) -> None:
+    """The default hook: report nothing."""
+
+
+class ProgressPrinter:
+    """Writes one status line per completed point to a stream.
+
+    Lines are carriage-return overwritten on TTY-like streams and
+    newline-separated otherwise (so CI logs stay readable); a final
+    summary with cache-hit counts is flushed by :meth:`finish`.
+    """
+
+    def __init__(self, stream: IO[str], label: str = "sweep") -> None:
+        self.stream = stream
+        self.label = label
+        self.cached = 0
+        self._last_len = 0
+        self._tty = bool(getattr(stream, "isatty", lambda: False)())
+
+    def __call__(self, done: int, total: int, spec: Any, cached: bool) -> None:
+        if cached:
+            self.cached += 1
+        detail = getattr(spec, "threads", None)
+        line = f"{self.label}: {done}/{total}"
+        if detail is not None:
+            line += f" (threads={detail}{', cached' if cached else ''})"
+        self._emit(line, final=done >= total)
+
+    def finish(self, total: int) -> None:
+        """Write the closing summary line."""
+        self._emit(
+            f"{self.label}: {total} points done, {self.cached} from cache",
+            final=True,
+        )
+
+    def _emit(self, line: str, *, final: bool) -> None:
+        if self._tty:
+            pad = " " * max(0, self._last_len - len(line))
+            end = "\n" if final else ""
+            self.stream.write(f"\r{line}{pad}{end}")
+        else:
+            self.stream.write(line + "\n")
+        self._last_len = len(line)
+        self.stream.flush()
+
+
+def make_progress(stream: Optional[IO[str]], label: str = "sweep") -> ProgressFn:
+    """A printer bound to ``stream``, or the no-op hook for ``None``."""
+    return ProgressPrinter(stream, label) if stream is not None else null_progress

@@ -48,3 +48,44 @@ class TestCRC:
 
     def test_packet_crc_empty(self):
         assert packet_crc([]) == 0
+
+    def test_packet_crc_golden_vectors(self):
+        # Pinned values: the word-direct hot path must keep producing
+        # exactly what the original bytes-joining implementation did.
+        goldens = [
+            ([0x0], 0x0),
+            ([0x1234567890ABCDEF, 0xFFFFFFFFFFFFFFFF], 0xD85305C5),
+            (
+                [0xDEADBEEF00000000, 0x0123456789ABCDEF, 0xCAFEBABE12345678],
+                0x1FE7BE93,
+            ),
+            ([(1 << 64) - 1] * 9, 0x6B798B09),
+        ]
+        for words, crc in goldens:
+            assert packet_crc(words) == crc
+
+    @given(st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=18))
+    def test_packet_crc_matches_bytes_reference(self, words):
+        # The retired implementation: pack the words little-endian and
+        # run the byte-wise CRC.  The word-direct path is bit-identical.
+        ws = list(words)
+        ws[-1] &= 0xFFFFFFFF
+        buf = b"".join(w.to_bytes(8, "little") for w in ws)
+        assert packet_crc(words) == crc32_koopman(buf)
+
+    def test_packet_crc_on_real_wire_images(self):
+        # Every encoded packet stamps packet_crc into its tail; verify
+        # the stamp against the byte-wise reference on live packets.
+        from repro.hmc.commands import hmc_rqst_t
+        from repro.hmc.packet import RequestPacket, field_set
+
+        for cmd, addr, data in [
+            (hmc_rqst_t.WR64, 0x40, bytes(range(64))),
+            (hmc_rqst_t.RD64, 0x80, b""),
+            (hmc_rqst_t.INC8, 0x1000, b""),
+        ]:
+            words = RequestPacket.build(cmd, addr, 7, data=data).encode()
+            zeroed = words[:-1] + [field_set(words[-1], 32, 32, 0)]
+            buf = b"".join(w.to_bytes(8, "little") for w in zeroed)
+            assert (words[-1] >> 32) & 0xFFFFFFFF == crc32_koopman(buf)
+            assert packet_crc(words) == crc32_koopman(buf)
