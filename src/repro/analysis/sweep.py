@@ -25,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.hmc.config import HMCConfig
 from repro.host.kernels.mutex_kernel import MutexRunStats, mutex_task_spec
 from repro.parallel.cache import SweepCache
@@ -101,6 +102,7 @@ def run_mutex_sweep(
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
     progress: Optional[ProgressFn] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> MutexSweep:
     """Run (or fetch the cached) Algorithm-1 sweep for one configuration.
 
@@ -118,9 +120,13 @@ def run_mutex_sweep(
             otherwise; see :func:`repro.parallel.cache.default_cache_root`).
         progress: per-point completion callback
             (:mod:`repro.parallel.progress`).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+            attached to every point.  The plan fingerprint becomes part
+            of each point's cache key, so faulty and fault-free sweeps
+            never share cache entries.
     """
     counts = tuple(thread_counts) if thread_counts is not None else PAPER_THREAD_RANGE
-    specs = [mutex_task_spec(config, n) for n in counts]
+    specs = [mutex_task_spec(config, n, fault_plan=fault_plan) for n in counts]
     memo_key = tuple(cache_key(s) for s in specs)
     if use_cache and memo_key in _MEMO:
         _MEMO.move_to_end(memo_key)

@@ -92,6 +92,10 @@ class TraceAnalysis:
     latencies: List[int] = field(default_factory=list)
     #: Total energy from POWER events (pJ).
     energy_pj: float = 0.0
+    #: Injected-fault events by kind (from FAULT-level trace lines).
+    fault_counts: Counter = field(default_factory=Counter)
+    #: Fault timeline: (cycle, kind) per FAULT event, in trace order.
+    fault_events: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def span_cycles(self) -> int:
@@ -120,6 +124,37 @@ class TraceAnalysis:
             key = f"{lo}-{lo + bucket - 1}"
             hist[key] = hist.get(key, 0) + 1
         return dict(sorted(hist.items(), key=lambda kv: int(kv[0].split("-")[0])))
+
+    def fault_timeline(self, bucket: int = 64) -> Dict[str, Counter]:
+        """Fault counts per kind in ``bucket``-cycle windows.
+
+        Returns ``{"lo-hi": Counter({kind: n})}`` sorted by window
+        start — the data behind a fault-burst plot (when did the ECC
+        storm hit, did the drops cluster around the hot spot).
+        """
+        timeline: Dict[int, Counter] = {}
+        for cycle, kind in self.fault_events:
+            lo = (cycle // bucket) * bucket
+            timeline.setdefault(lo, Counter())[kind] += 1
+        return {
+            f"{lo}-{lo + bucket - 1}": counts
+            for lo, counts in sorted(timeline.items())
+        }
+
+    def render_fault_timeline(self, bucket: int = 64, width: int = 40) -> str:
+        """ASCII fault-rate timeline (one row per window)."""
+        timeline = self.fault_timeline(bucket)
+        if not timeline:
+            return "no fault events"
+        peak = max(sum(c.values()) for c in timeline.values())
+        label_w = max(len(w) for w in timeline)
+        rows = []
+        for window, counts in timeline.items():
+            total = sum(counts.values())
+            bar = "#" * max(1, round(width * total / peak))
+            kinds = ",".join(f"{k}={n}" for k, n in counts.most_common())
+            rows.append(f"{window:>{label_w}} |{bar:<{width}}| {kinds}")
+        return "\n".join(rows)
 
     def hottest_vault(self) -> Optional[Tuple[int, int]]:
         """(vault, request count) of the most-loaded vault, or None."""
@@ -152,6 +187,13 @@ class TraceAnalysis:
             )
         if self.energy_pj:
             lines.append(f"energy: {self.energy_pj:.1f} pJ")
+        if self.fault_counts:
+            lines.append(
+                "faults: "
+                + ", ".join(
+                    f"{kind}={n}" for kind, n in self.fault_counts.most_common()
+                )
+            )
         return "\n".join(lines)
 
 
@@ -188,4 +230,9 @@ def analyze_trace(source: Union[str, Iterable[str]]) -> TraceAnalysis:
             pj = ev.get("ENERGY_PJ")
             if pj is not None:
                 analysis.energy_pj += float(pj)
+        elif ev.level == "FAULT":
+            kind = ev.get("KIND")
+            if kind is not None:
+                analysis.fault_counts[kind] += 1
+                analysis.fault_events.append((ev.cycle, kind))
     return analysis

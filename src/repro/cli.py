@@ -13,6 +13,12 @@ Experiment commands accept ``--component seam=impl`` (repeatable) to
 swap a pipeline stage, e.g. ``--component xbar=ideal --component
 vault_scheduler=round_robin``.  ``info`` lists the registered
 implementations per seam.
+
+``sweep`` and ``kernel mutex`` additionally accept ``--fault
+kind=param`` (repeatable) and ``--fault-seed N`` to run under a
+deterministic fault plan, e.g. ``--fault xbar_drop=0.004 --fault
+vault_stall=2e-3,duration=4``.  ``info`` lists the registered fault
+kinds.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ from repro.analysis import tables as _tables
 from repro.analysis.export import sweep_to_csv, write_csv
 from repro.analysis.plot import plot_sweeps
 from repro.analysis.sweep import run_mutex_sweep
+from repro.errors import FaultError
+from repro.faults.plan import DEFAULT_FAULT_SEED, FaultPlan, FaultSpec
+from repro.faults.registry import FAULTS
 from repro.hmc.commands import CMC_CODES, DEFINED_CODES
 from repro.hmc.components import COMPONENTS
 from repro.hmc.composition import SEAM_FIELDS
@@ -89,6 +98,39 @@ def _configs(
     return cfgs
 
 
+def _parse_fault(spec: str) -> FaultSpec:
+    """Parse a ``--fault`` spec: ``kind=value[,name=value...]``."""
+    try:
+        return FaultSpec.parse(spec)
+    except FaultError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault", action="append", type=_parse_fault, default=None,
+        metavar="KIND=PARAM", dest="faults",
+        help="inject a deterministic fault, e.g. xbar_drop=0.004 or "
+        "vault_stall=2e-3,duration=4 (repeatable; see 'info' for kinds)",
+    )
+    p.add_argument(
+        "--fault-seed", type=lambda s: int(s, 0), default=DEFAULT_FAULT_SEED,
+        metavar="N", help="seed every fault draw derives from "
+        f"(default {DEFAULT_FAULT_SEED:#x}; same seed = same faults, "
+        "serial or parallel)",
+    )
+
+
+def _fault_plan(args) -> Optional[FaultPlan]:
+    """The FaultPlan described by the ``--fault``/``--fault-seed`` flags."""
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        return FaultPlan(specs=tuple(args.faults), seed=args.fault_seed)
+    except FaultError as exc:
+        raise SystemExit(f"hmcsim-repro: error: {exc}")
+
+
 def _add_component_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--component", action="append", type=_parse_component, default=None,
@@ -110,10 +152,13 @@ def _add_jobs_args(p: argparse.ArgumentParser) -> None:
 
 
 def _sweep_kwargs(args) -> dict:
-    """run_mutex_sweep keyword arguments from the jobs/cache flags."""
+    """run_mutex_sweep keyword arguments from the jobs/cache/fault flags."""
     kwargs: dict = {"jobs": args.jobs, "use_cache": not args.no_cache}
     if args.jobs != 1:
         kwargs["progress"] = make_progress(sys.stderr)
+    plan = _fault_plan(args)
+    if plan is not None:
+        kwargs["fault_plan"] = plan
     return kwargs
 
 
@@ -146,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--csv", metavar="PATH", help="export the series as CSV")
     _add_component_arg(p_sweep)
     _add_jobs_args(p_sweep)
+    _add_fault_args(p_sweep)
 
     p_kernel = sub.add_parser("kernel", help="run one workload kernel")
     p_kernel.add_argument(
@@ -156,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", choices=["4link", "8link"], default="4link"
     )
     _add_component_arg(p_kernel)
+    _add_fault_args(p_kernel)
 
     p_open = sub.add_parser(
         "openloop", help="open-loop latency vs offered load"
@@ -177,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("trace", help="path to a trace file")
     p_analyze.add_argument(
         "--histogram", action="store_true", help="print the latency histogram"
+    )
+    p_analyze.add_argument(
+        "--fault-timeline", action="store_true",
+        help="render the injected-fault timeline from FAULT trace events",
     )
 
     p_verify = sub.add_parser(
@@ -215,10 +266,21 @@ def _cmd_table(args, out) -> int:
 
 
 def _cmd_sweep(args, out) -> int:
+    kwargs = _sweep_kwargs(args)
     sweeps = [
-        run_mutex_sweep(c, args.threads, **_sweep_kwargs(args))
+        run_mutex_sweep(c, args.threads, **kwargs)
         for c in _configs(args.config, args.components)
     ]
+    plan = kwargs.get("fault_plan")
+    if plan is not None:
+        for sweep in sweeps:
+            injected = sum(r.faults_injected for r in sweep.runs)
+            retrans = sum(r.retransmits for r in sweep.runs)
+            out.write(
+                f"{sweep.config_name} fault plan [{plan.describe()}]: "
+                f"{injected} faults injected, {retrans} retransmits\n"
+            )
+        out.write("\n")
     for title, attr in [
         ("Figure 5: Minimum Lock Cycles", "min_cycles"),
         ("Figure 6: Maximum Lock Cycles", "max_cycles"),
@@ -237,15 +299,27 @@ def _cmd_sweep(args, out) -> int:
 
 def _cmd_kernel(args, out) -> int:
     cfg = _configs(args.config, args.components)[0]
+    plan = _fault_plan(args)
+    if plan is not None and args.name != "mutex":
+        raise SystemExit(
+            f"hmcsim-repro: error: --fault is only supported by the mutex "
+            f"kernel (got kernel {args.name!r})"
+        )
     if args.name == "mutex":
         from repro.host.kernels.mutex_kernel import run_mutex_workload
 
-        s = run_mutex_workload(cfg, args.threads)
-        out.write(
+        s = run_mutex_workload(cfg, args.threads, fault_plan=plan)
+        line = (
             f"{s.config_name} mutex x{s.threads}: min={s.min_cycle} "
             f"max={s.max_cycle} avg={s.avg_cycle:.2f} "
-            f"(cmc executions: {s.cmc_executions})\n"
+            f"(cmc executions: {s.cmc_executions})"
         )
+        if plan is not None:
+            line += (
+                f" [{plan.describe()}: {s.faults_injected} faults, "
+                f"{s.retransmits} retransmits]"
+            )
+        out.write(line + "\n")
     elif args.name == "ticket":
         from repro.host.kernels.ticket_kernel import run_ticket_workload
 
@@ -344,6 +418,9 @@ def _cmd_analyze(args, out) -> int:
         out.write("latency histogram (4-cycle buckets):\n")
         for bucket, count in a.latency_histogram().items():
             out.write(f"  {bucket:>8}: {count}\n")
+    if args.fault_timeline:
+        out.write("fault timeline (64-cycle windows):\n")
+        out.write(a.render_fault_timeline() + "\n")
     return 0
 
 
@@ -367,6 +444,9 @@ def _cmd_info(out) -> int:
             f"{k}*" if k == defaults[seam] else k for k in COMPONENTS.keys(seam)
         )
         out.write(f"  {seam}: {keys}\n")
+    out.write("fault kinds (--fault kind=param, primary param shown):\n")
+    for key, primary, doc in FAULTS.describe():
+        out.write(f"  {key} ({primary}): {doc}\n")
     return 0
 
 

@@ -289,19 +289,31 @@ class CMCRegistry:
         reg = op.registration
         rsp_words: List[int] = [0] * max(0, 2 * (reg.rsp_len - 1))
         n_rsp_words = len(rsp_words)
-        rc = op.cmc_execute(
-            hmc,
-            dev,
-            quad,
-            vault,
-            bank,
-            addr,
-            length,
-            head,
-            tail,
-            list(rqst_payload),
-            rsp_words,
-        )
+        try:
+            rc = op.cmc_execute(
+                hmc,
+                dev,
+                quad,
+                vault,
+                bank,
+                addr,
+                length,
+                head,
+                tail,
+                list(rqst_payload),
+                rsp_words,
+            )
+        except CMCExecutionError:
+            raise
+        except Exception as exc:
+            # Plugin isolation: a raising plugin must not kill the
+            # simulation — the C contract is a nonzero return, and the
+            # vault pipeline turns this exception into an RSP_ERROR
+            # response exactly as it would for one.
+            raise CMCExecutionError(
+                f"CMC operation {op.op_name!r} (code {cmd}) raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         if rc != 0:
             raise CMCExecutionError(
                 f"CMC operation {op.op_name!r} (code {cmd}) returned "

@@ -96,3 +96,42 @@ class ComponentError(HMCSimError):
     duplicate key, registering under an unknown seam, or requesting an
     implementation that was never registered raises this error.
     """
+
+
+class FaultError(HMCSimError):
+    """A fault-injection plan could not be parsed, registered, or built.
+
+    Raised by the fault registry (:mod:`repro.faults.registry`) for
+    unknown fault kinds, duplicate registrations, malformed
+    ``kind=param`` specs, and plans whose requirements the simulation
+    context cannot satisfy (e.g. a link-CRC fault with no flow model).
+    """
+
+
+class InvariantViolation(HMCSimError):
+    """A cycle-wise simulation invariant failed to hold.
+
+    Raised by :class:`repro.faults.invariants.InvariantChecker` when
+    tag conservation, link-token conservation, or a queue-depth bound
+    is violated.  The message names the failing invariant and the
+    offending structure; chaos tests treat any such raise as a
+    simulator bug, not a workload property.
+    """
+
+
+class SimDeadlockError(HMCSimError):
+    """A workload stopped making forward progress.
+
+    Replaces the bare ``max_cycles``-overrun raises: carries a
+    :class:`repro.faults.diagnostics.DeadlockDump` (``dump`` attribute)
+    with queue occupancies, outstanding tags, and token counts so a
+    hang is diagnosable from the exception alone.  The dump's text is
+    appended to the message; ``dump`` may be ``None`` for callers that
+    cannot collect one.
+    """
+
+    def __init__(self, message: str, *, dump: object = None):
+        self.dump = dump
+        if dump is not None:
+            message = f"{message}\n{dump}"
+        super().__init__(message)

@@ -1,0 +1,156 @@
+"""String-keyed registry of fault-injector kinds.
+
+The structural mirror of :class:`repro.hmc.components.ComponentRegistry`
+and :class:`repro.core.cmc.CMCRegistry`: where those registries key
+pipeline seams and custom memory operations, this one keys *fault
+kinds* — named, parameterized, deterministic perturbations of the
+simulated datapath.  Built-in kinds self-register from
+:mod:`repro.faults.injectors` (imported by the package ``__init__``);
+third-party kinds call :func:`register_fault` with their own key and
+become immediately usable in :class:`repro.faults.plan.FaultPlan` specs
+and the CLI's ``--fault kind=param`` flag.
+
+Each registration carries the metadata the plan parser needs:
+
+* ``primary`` — the parameter a bare ``kind=value`` spec assigns
+  (conventionally the fault's rate);
+* ``defaults`` — the full parameter set with default values, so a spec
+  naming an unknown parameter fails at parse time, not mid-simulation;
+* ``doc`` — a one-line description rendered by ``hmcsim-repro info``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.errors import FaultError
+
+__all__ = ["FaultKind", "FaultRegistry", "FAULTS", "register_fault"]
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One registered fault kind: factory plus parse metadata."""
+
+    key: str
+    factory: Callable[..., Any]
+    primary: str
+    defaults: Tuple[Tuple[str, Any], ...]
+    doc: str
+
+    def resolve_params(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults, rejecting unknown names."""
+        merged = dict(self.defaults)
+        for name, value in params.items():
+            if name not in merged:
+                known = ", ".join(sorted(merged))
+                raise FaultError(
+                    f"fault kind {self.key!r} has no parameter {name!r} "
+                    f"(known parameters: {known})"
+                )
+            merged[name] = value
+        return merged
+
+
+class FaultRegistry:
+    """Fault kinds keyed by string, mirroring ``ComponentRegistry``."""
+
+    def __init__(self) -> None:
+        self._kinds: Dict[str, FaultKind] = {}
+
+    def register(
+        self,
+        key: str,
+        factory: Callable[..., Any],
+        *,
+        primary: str,
+        defaults: Mapping[str, Any],
+        doc: str = "",
+        replace: bool = False,
+    ) -> None:
+        """Install a fault kind.
+
+        Raises:
+            FaultError: empty key, a ``primary`` not present in
+                ``defaults``, or an occupied key (unless ``replace``).
+        """
+        if not key or not isinstance(key, str):
+            raise FaultError(f"fault kind key must be a non-empty string, got {key!r}")
+        if primary not in defaults:
+            raise FaultError(
+                f"fault kind {key!r}: primary parameter {primary!r} "
+                f"is not among its defaults"
+            )
+        if key in self._kinds and not replace:
+            raise FaultError(
+                f"fault kind {key!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._kinds[key] = FaultKind(
+            key=key,
+            factory=factory,
+            primary=primary,
+            defaults=tuple(sorted(defaults.items())),
+            doc=doc,
+        )
+
+    def get(self, key: str) -> FaultKind:
+        """The registration for ``key``.
+
+        Raises:
+            FaultError: unregistered kind (message lists known kinds).
+        """
+        kind = self._kinds.get(key)
+        if kind is None:
+            known = ", ".join(sorted(self._kinds)) or "<none>"
+            raise FaultError(
+                f"no fault kind registered under {key!r} (known kinds: {known})"
+            )
+        return kind
+
+    def has(self, key: str) -> bool:
+        """True when ``key`` names a registered fault kind."""
+        return key in self._kinds
+
+    def keys(self) -> Tuple[str, ...]:
+        """Registered fault kinds, sorted."""
+        return tuple(sorted(self._kinds))
+
+    def describe(self) -> Tuple[Tuple[str, str, str], ...]:
+        """(key, primary, doc) rows for every kind (CLI ``info``)."""
+        return tuple(
+            (k.key, k.primary, k.doc) for _, k in sorted(self._kinds.items())
+        )
+
+
+#: The process-wide fault-kind registry.
+FAULTS = FaultRegistry()
+
+
+def register_fault(
+    key: str,
+    *,
+    primary: str,
+    defaults: Mapping[str, Any],
+    doc: str = "",
+    replace: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class/function decorator registering an injector factory.
+
+    Usage::
+
+        @register_fault("dram_bitflip", primary="rate",
+                        defaults={"rate": 0.0}, doc="...")
+        class DramBitFlipInjector:
+            def __init__(self, controller, params, seed): ...
+    """
+
+    def _decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        FAULTS.register(
+            key, factory, primary=primary, defaults=defaults, doc=doc,
+            replace=replace,
+        )
+        return factory
+
+    return _decorator

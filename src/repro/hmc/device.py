@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
+from repro.faults.controller import FATE_DROP, FATE_DUP
 from repro.hmc.commands import COMMAND_TABLE_LIST, CommandKind, command_for_code
 from repro.hmc.components import CrossbarModel
 from repro.hmc.composition import build_vault_scheduler, build_xbar
@@ -40,6 +41,7 @@ __all__ = ["Device"]
 _T_CMD = int(TraceLevel.CMD)
 _T_LATENCY = int(TraceLevel.LATENCY)
 _T_STALL = int(TraceLevel.STALL)
+_T_FAULT = int(TraceLevel.FAULT)
 _FLOW = CommandKind.FLOW
 
 
@@ -298,6 +300,10 @@ class Device:
         tmask = tracer.mask
         rate = self.config.link_rsp_rate
         rsp_queues = xbar.rsp_queues
+        faults = self.sim.faults
+        rsp_faults = (
+            faults if faults is not None and faults.has_rsp_faults else None
+        )
         for link in self.links:
             if not rsp_queues[link.link_id]._q:
                 continue
@@ -312,6 +318,24 @@ class Device:
                     # return trip.
                     self.sim.topology.forward_response(self.dev, rsp, cycle)
                     continue
+                if rsp_faults is not None:
+                    fate = rsp_faults.response_fate(
+                        self.dev, link.link_id, rsp, cycle
+                    )
+                    if fate == FATE_DROP:
+                        # The response vanishes: record the lost tag so
+                        # the invariant checker excuses it and the host
+                        # watchdog knows to retransmit.
+                        rsp_faults.on_response_dropped(
+                            self.dev, link.link_id, rsp, cycle
+                        )
+                        continue
+                    if fate == FATE_DUP:
+                        rsp_faults.note(
+                            "rsp_dup", cycle,
+                            dev=self.dev, link=link.link_id, tag=rsp.tag,
+                        )
+                        link.retire(rsp)
                 link.retire(rsp)
                 self.retired_rsps += 1
                 if tmask & _T_CMD:
@@ -329,12 +353,21 @@ class Device:
         active = self._active_vaults
         if not active:
             return
+        faults = self.sim.faults
+        stall = (
+            faults.vault if faults is not None and faults.has_vault else None
+        )
         vaults = self.vaults
         # Ascending vault order matters: multiple vaults can target the
         # same response queue, and the seed engine visited vaults in
         # index order.  Inactive vaults are no-ops there, so iterating
         # the sorted active set preserves ordering exactly.
         for index in sorted(active):
+            if stall is not None and stall.stalled(self.dev, index, cycle):
+                # Transient vault freeze: queued work waits in place and
+                # the vault stays active, resuming when the stall window
+                # passes — nothing is lost, only delayed.
+                continue
             vault = vaults[index]
             if not vault.flush_pending(self, cycle):
                 continue
@@ -409,6 +442,14 @@ class Device:
                     tracer.trace_stall(
                         cycle, where=f"link{link_id}.retry", dev=self.dev, src=link_id
                     )
+                    if tracer.mask & _T_FAULT:
+                        tracer.trace_fault(
+                            cycle,
+                            kind="link_retry",
+                            dev=self.dev,
+                            link=link_id,
+                            tag=flight.pkt.tag,
+                        )
                     continue
                 info = flight.info
                 if info is None:

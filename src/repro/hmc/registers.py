@@ -116,6 +116,18 @@ class RegisterFile:
             return
         self._regs[reg] = value
 
+    def count_error(self) -> None:
+        """Latch one device-detected error into the ERR status register.
+
+        Used by the fault layer (uncorrectable ECC events) the way real
+        hardware accumulates error syndromes: hosts poll ERR via mode
+        reads or the JTAG path.  Saturates at 64 bits rather than wrap.
+        """
+        reg = HMC_REG["ERR"]
+        value = self._regs[reg]
+        if value < (1 << 64) - 1:
+            self._regs[reg] = value + 1
+
     def snapshot(self) -> Dict[str, int]:
         """Name → value for every register (debug/inspection helper)."""
         by_index = {v: k for k, v in HMC_REG.items()}

@@ -32,7 +32,14 @@ from typing import IO, Dict, Optional, Set, Tuple, Union
 
 from repro.core.cmc import CMCOperation, CMCRegistry
 from repro.core.loader import load_cmc as _load_cmc_plugin
-from repro.errors import HMCPacketError, HMCSimError, HMCStatus, TagError
+from repro.errors import (
+    HMCPacketError,
+    HMCSimError,
+    HMCStatus,
+    SimDeadlockError,
+    TagError,
+)
+from repro.faults.diagnostics import collect_deadlock_dump
 from repro.hmc.addrmap import AddressMap
 from repro.hmc.commands import (
     COMMAND_TABLE,
@@ -64,6 +71,13 @@ class HMCSim:
             omitted, the model selected by ``config.link_flow`` is
             built through the component registry (the default ``none``
             yields no model at all).
+        faults: optional :class:`repro.faults.plan.FaultPlan`.  When
+            given, the plan is built into a
+            :class:`repro.faults.controller.FaultController` stored as
+            ``self.faults`` and the datapath's fault hooks activate.
+            With no plan (the default) every hook is a single
+            ``is None`` test and the datapath is bit-identical to the
+            fault-free baseline.
         strict_tags: when True (default), reject a send whose tag is
             already outstanding on the same device — catching the host
             bug the 11-bit TAG field cannot express.
@@ -85,6 +99,7 @@ class HMCSim:
         timing: Optional[HMCTimingModel] = None,
         power: Optional[HMCPowerModel] = None,
         flow: Optional[LinkFlow] = None,
+        faults: Optional[object] = None,
         strict_tags: bool = True,
         topology_kind: Optional[str] = None,
         **kwargs: object,
@@ -104,6 +119,9 @@ class HMCSim:
             flow if flow is not None else build_link_flow(config)
         )
         self.power_report = PowerReport()
+        #: The built FaultController when a plan is attached, else None
+        #: — every datapath hook gates on this exact attribute.
+        self.faults = None
         self.backend: MemoryModel = build_memory(config)
         self.addrmap = AddressMap(config)
         self.tracer = Tracer()
@@ -123,6 +141,8 @@ class HMCSim:
         self.sent_rqsts = 0
         self.send_stalls = 0
         self.recvd_rsps = 0
+        if faults is not None:
+            self.attach_faults(faults)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -140,6 +160,34 @@ class HMCSim:
     def _check_init(self) -> None:
         if not self._initialized:
             raise HMCSimError("simulation context has been freed")
+
+    # -- fault injection ---------------------------------------------------------
+
+    def attach_faults(self, plan: object):
+        """Build a :class:`repro.faults.plan.FaultPlan` against this
+        context and activate its datapath hooks.
+
+        Returns the resulting fault controller (also ``self.faults``).
+        Duck-typed (``plan.build(self)``) so this core module depends
+        only on the fault package's diagnostics, not its registry.
+        """
+        self.faults = plan.build(self)
+        return self.faults
+
+    def abandon_tag(self, cub: int, tag: int) -> bool:
+        """Forget an outstanding tag so the host may retransmit it.
+
+        Called by the watchdog's retransmission path: clears the
+        strict-tag outstanding entry (the retransmitted packet re-adds
+        it) and the fault layer's lost-tag record.  Returns True when
+        the tag was actually outstanding.
+        """
+        key = (cub << 11) | tag
+        was = key in self._outstanding
+        self._outstanding.discard(key)
+        if self.faults is not None:
+            self.faults.clear_lost(cub, tag)
+        return was
 
     # -- CMC registration (hmc_load_cmc) ----------------------------------------
 
@@ -304,15 +352,21 @@ class HMCSim:
         Returns the number of cycles consumed.
 
         Raises:
-            HMCSimError: if the context does not drain within
-                ``max_cycles`` (a livelock would otherwise spin forever).
+            SimDeadlockError: if the context does not drain within
+                ``max_cycles`` (a livelock would otherwise spin
+                forever).  The exception carries a
+                :class:`repro.faults.diagnostics.DeadlockDump` naming
+                every stuck tag, nonempty queue, and token balance.
         """
         start = self._cycle
         for _ in range(max_cycles):
             if self.idle():
                 return self._cycle - start
             self.clock()
-        raise HMCSimError(f"context did not drain within {max_cycles} cycles")
+        raise SimDeadlockError(
+            f"context did not drain within {max_cycles} cycles",
+            dump=collect_deadlock_dump(self),
+        )
 
     def idle(self) -> bool:
         """True when no packet is queued anywhere in the context.
@@ -376,7 +430,7 @@ class HMCSim:
                 "forwarded_rqsts": device.forwarded_rqsts,
                 "retired_rsps": device.retired_rsps,
             }
-        return {
+        out: Dict[str, object] = {
             "cycle": self._cycle,
             "sent_rqsts": self.sent_rqsts,
             "send_stalls": self.send_stalls,
@@ -388,6 +442,11 @@ class HMCSim:
             "energy_pj": self.power_report.total_pj if self.power else 0.0,
             "devices": per_dev,
         }
+        if self.faults is not None:
+            # Only present under an attached plan, so fault-free stats
+            # output (and anything golden-pinned to it) is unchanged.
+            out["faults"] = self.faults.counters()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -66,6 +66,9 @@ class SimSampler:
         self.cycles_sampled = 0
         self._vault_series: Dict[str, OccupancySeries] = {}
         self._xbar_series: Dict[str, OccupancySeries] = {}
+        #: Cumulative fault counters per kind (only when a fault plan
+        #: is attached); a series' growth locates fault bursts in time.
+        self._fault_series: Dict[str, OccupancySeries] = {}
         self._first_cycle: Optional[int] = None
         self._last_cycle: Optional[int] = None
         self._flits_at_start: Optional[int] = None
@@ -94,6 +97,10 @@ class SimSampler:
                 ).samples.append(len(vault.rqst_queue))
             for q in device.xbar.rqst_queues + device.xbar.rsp_queues:
                 self._series(self._xbar_series, q.name).samples.append(len(q))
+        faults = self.sim.faults
+        if faults is not None:
+            for kind, count in faults.counters().items():
+                self._series(self._fault_series, kind).samples.append(count)
 
     def _total_flits(self) -> int:
         return sum(
@@ -119,6 +126,12 @@ class SimSampler:
     def xbar_series(self) -> Dict[str, OccupancySeries]:
         """Per-crossbar-queue occupancy series."""
         return self._xbar_series
+
+    @property
+    def fault_series(self) -> Dict[str, OccupancySeries]:
+        """Cumulative fault-counter series per fault kind (empty when
+        no fault plan is attached)."""
+        return self._fault_series
 
     def hottest_vaults(self, n: int = 5) -> List[OccupancySeries]:
         """The ``n`` vaults with the highest peak occupancy."""
@@ -159,5 +172,14 @@ class SimSampler:
             lines.append(
                 "busiest crossbar queues: "
                 + ", ".join(f"{s.name} (peak {s.peak})" for s in busiest_xbar)
+            )
+        if self._fault_series:
+            lines.append(
+                "faults (cumulative): "
+                + ", ".join(
+                    f"{name}={series.samples[-1]}"
+                    for name, series in sorted(self._fault_series.items())
+                    if series.samples
+                )
             )
         return "\n".join(lines)

@@ -34,7 +34,8 @@ class TraceLevel(enum.IntFlag):
     STALL = 1 << 3  # stall events
     LATENCY = 1 << 4  # per-request retire latency
     POWER = 1 << 5  # power/energy events (future-work extension)
-    ALL = BANK | QUEUE | CMD | STALL | LATENCY | POWER
+    FAULT = 1 << 6  # injected faults and recovery events
+    ALL = BANK | QUEUE | CMD | STALL | LATENCY | POWER | FAULT
 
 
 class TraceEvent:
@@ -184,6 +185,13 @@ class Tracer:
     def trace_power(self, cycle: int, *, op: str, energy_pj: float) -> None:
         """Energy attributed to one operation (future-work extension)."""
         self.emit(TraceLevel.POWER, cycle, op=op, energy_pj=round(energy_pj, 3))
+
+    def trace_fault(self, cycle: int, *, kind: str, **fields: object) -> None:
+        """An injected fault fired (or a recovery action ran).  ``kind``
+        is the fault-event name; extra fields locate it (dev/vault/link/
+        tag).  Rendered at FAULT level so ``analysis/traceview.py`` can
+        reconstruct fault timelines from the bounded ring."""
+        self.emit(TraceLevel.FAULT, cycle, kind=kind, **fields)
 
     # -- inspection ------------------------------------------------------------
 

@@ -56,6 +56,7 @@ __all__ = [
     "ERRSTAT_ADDRESS",
     "ERRSTAT_CMC_INACTIVE",
     "ERRSTAT_CMC_FAILED",
+    "ERRSTAT_ECC_UNCORRECTABLE",
 ]
 
 #: ERRSTAT codes carried by RSP_ERROR responses.
@@ -63,6 +64,9 @@ ERRSTAT_GENERIC = 0x01
 ERRSTAT_ADDRESS = 0x03
 ERRSTAT_CMC_INACTIVE = 0x04
 ERRSTAT_CMC_FAILED = 0x05
+#: Carried by *poisoned* read responses (DINV set) when the fault
+#: layer's SECDED ECC model sees an uncorrectable multi-bit flip.
+ERRSTAT_ECC_UNCORRECTABLE = 0x06
 
 
 class Vault:
@@ -397,6 +401,8 @@ def process_rqst(
     rsp_data = b""
     errstat = 0
     posted = info.posted
+    poisoned = False
+    faults = device.sim.faults
 
     try:
         if info.kind is CommandKind.FLOW:
@@ -404,6 +410,17 @@ def process_rqst(
             return None
 
         if info.kind is CommandKind.CMC:
+            if (
+                faults is not None
+                and faults.has_cmc
+                and faults.cmc.crashes(device.dev, flight, cycle)
+            ):
+                # Injected plugin failure: raise inside the isolation
+                # boundary below, so it becomes an RSP_ERROR response
+                # exactly like an organically misbehaving plugin.
+                raise CMCExecutionError(
+                    f"injected CMC crash (cmd {pkt.cmd}, tag {pkt.tag})"
+                )
             wire = pkt._wire()  # one memoized encode: head and tail together
             op, rsp_data, rsp_cmd = device.cmc.execute(
                 device.sim,
@@ -421,6 +438,16 @@ def process_rqst(
             posted = op.registration.posted
         elif info.kind is CommandKind.READ:
             rsp_data = mem.mem_read(pkt.addr, info.rsp_data_bytes or 0)
+            if faults is not None and faults.has_dram:
+                rsp_data, ecc_stat = faults.dram.on_read(
+                    device, flight, rsp_data, cycle
+                )
+                if ecc_stat:
+                    # Uncorrectable ECC: deliver the corrupt data as a
+                    # poisoned response rather than silently dropping
+                    # the request — the host sees DINV + ERRSTAT.
+                    errstat = ecc_stat
+                    poisoned = True
         elif info.kind in (CommandKind.WRITE, CommandKind.POSTED_WRITE):
             mem.mem_write(pkt.addr, pkt.data)
         elif info.kind is CommandKind.MODE:
@@ -480,8 +507,9 @@ def process_rqst(
         data=rsp_data,
         errstat=errstat,
         # A poisoned request (Pb set in the tail) marks its response
-        # data invalid, per the specification's poison semantics.
-        dinv=pkt.pb,
+        # data invalid, per the specification's poison semantics; an
+        # uncorrectable ECC event poisons the response the same way.
+        dinv=1 if poisoned else pkt.pb,
         inject_cycle=flight.inject_cycle,
         origin_dev=flight.origin_dev,
         origin_link=flight.src_link,

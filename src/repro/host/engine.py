@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import attrgetter
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import HMCSimError, HMCStatus
+from repro.errors import HMCSimError, HMCStatus, SimDeadlockError
+from repro.faults.diagnostics import collect_deadlock_dump
+from repro.faults.invariants import InvariantChecker
+from repro.faults.watchdog import TagWatchdog
 from repro.hmc.sim import HMCSim
 from repro.host.thread import Program, SimThread, ThreadCtx, ThreadState
 
@@ -57,6 +60,13 @@ class EngineResult:
     threads: List[ThreadResult] = field(default_factory=list)
     total_cycles: int = 0
     send_stalls: int = 0
+    #: Watchdog retransmissions performed during the run.
+    retransmits: int = 0
+    #: Responses tolerated as duplicates (fault duplication, or a late
+    #: response racing its own retransmission).
+    duplicate_rsps: int = 0
+    #: Completed invariant-checker passes (0 when checking is off).
+    invariant_checks: int = 0
 
     @property
     def min_cycle(self) -> int:
@@ -79,13 +89,40 @@ class HostEngine:
 
     Args:
         sim: the simulation context.
-        max_cycles: safety bound; exceeding it raises (a deadlocked
-            workload would otherwise spin forever).
+        max_cycles: safety bound; exceeding it raises
+            :class:`~repro.errors.SimDeadlockError` with a diagnostic
+            dump (a deadlocked workload would otherwise spin forever).
+        watchdog: optional :class:`~repro.faults.watchdog.TagWatchdog`.
+            When given, every response-expecting send arms a deadline;
+            a timed-out tag is retransmitted (bounded, with exponential
+            backoff) and an exhausted tag raises ``SimDeadlockError``.
+        invariants: ``True`` (build an
+            :class:`~repro.faults.invariants.InvariantChecker` for
+            ``sim``) or a ready checker.  When set, every engine cycle
+            verifies tag/token conservation and queue bounds.
     """
 
-    def __init__(self, sim: HMCSim, *, max_cycles: int = 1_000_000):
+    def __init__(
+        self,
+        sim: HMCSim,
+        *,
+        max_cycles: int = 1_000_000,
+        watchdog: Optional[TagWatchdog] = None,
+        invariants: Union[bool, InvariantChecker, None] = None,
+    ):
         self.sim = sim
         self.max_cycles = max_cycles
+        self.watchdog = watchdog
+        if invariants is True:
+            invariants = InvariantChecker(sim)
+        elif invariants is False:
+            invariants = None
+        self.invariants = invariants
+        #: Tolerate responses for non-waiting threads (duplication
+        #: faults, late responses racing their own retransmission)
+        #: instead of raising — on whenever the run can produce them.
+        self.resilient = watchdog is not None or sim.faults is not None
+        self.duplicate_rsps = 0
         self.threads: List[SimThread] = []
         self._by_tag: Dict[int, SimThread] = {}
 
@@ -141,6 +178,14 @@ class HostEngine:
         thread.pending = None
         if self.sim._expects_response(pkt):
             thread.state = ThreadState.WAITING
+            if self.watchdog is not None:
+                self.watchdog.arm(
+                    pkt.tag,
+                    pkt,
+                    dev=thread.ctx.cub,
+                    link=thread.ctx.link,
+                    cycle=self.sim.cycle if cycle is None else cycle,
+                )
         else:
             # Posted: the program resumes with None and may produce its
             # next request, injected on a later cycle.
@@ -179,12 +224,16 @@ class HostEngine:
         sim = self.sim
         by_tag = self._by_tag
         WAITING = ThreadState.WAITING
+        wd = self.watchdog
+        checker = self.invariants
+        resilient = self.resilient
         while live:
             cyc = sim.cycle
             if cyc >= deadline:
-                raise HMCSimError(
+                raise SimDeadlockError(
                     f"workload did not complete within {self.max_cycles} cycles "
-                    f"({len(live)} threads still running)"
+                    f"({len(live)} threads still running)",
+                    dump=collect_deadlock_dump(sim, extra=self._thread_dump(live)),
                 )
             finished = False
             # Phase 1: inject pending requests (tid order, as the full
@@ -215,9 +264,17 @@ class HostEngine:
                             break
                         thread = by_tag.get(rsp.tag)
                         if thread is None or thread.state is not WAITING:
+                            if resilient:
+                                # A duplicated response, or a late
+                                # response racing its own watchdog
+                                # retransmission: consume and move on.
+                                self.duplicate_rsps += 1
+                                continue
                             raise HMCSimError(
                                 f"response tag {rsp.tag} does not match a waiting thread"
                             )
+                        if wd is not None:
+                            wd.disarm(rsp.tag)
                         thread.resume(rsp, cyc)
                         if thread.done:
                             finished = True
@@ -232,6 +289,32 @@ class HostEngine:
                                 # Same-cycle reissue stalled (or chained
                                 # a posted send): retry next phase 1.
                                 inject.append(thread)
+            # Phase 4 (resilience, only when configured): retransmit
+            # timed-out tags, then verify conservation invariants.
+            if wd is not None:
+                for entry in wd.poll(cyc):
+                    if wd.exhausted(entry):
+                        raise SimDeadlockError(
+                            f"workload did not complete: tag {entry.tag} "
+                            f"still unanswered after {entry.attempts} "
+                            f"retransmission(s)",
+                            dump=collect_deadlock_dump(
+                                sim, extra=self._thread_dump(live)
+                            ),
+                        )
+                    thread = by_tag.get(entry.tag)
+                    if thread is None or thread.state is not WAITING:
+                        continue  # answered in this very drain phase
+                    # Forget the outstanding tag (and any fault-lost
+                    # record), hand the packet back to the thread, and
+                    # let the normal inject path retransmit it.
+                    sim.abandon_tag(entry.packet.cub, entry.tag)
+                    wd.note_retransmit()
+                    thread.pending = entry.packet
+                    thread.state = READY
+                    inject.append(thread)
+            if checker is not None:
+                checker.check(cyc)
             if finished:
                 live = [t for t in live if not t.done]
 
@@ -249,4 +332,22 @@ class HostEngine:
                 )
             )
             result.send_stalls += thread.stalls
+        if wd is not None:
+            result.retransmits = wd.retransmits
+        result.duplicate_rsps = self.duplicate_rsps
+        if checker is not None:
+            result.invariant_checks = checker.checks
         return result
+
+    def _thread_dump(self, live: Sequence[SimThread]) -> Dict[str, str]:
+        """Thread-state context for a deadlock dump: names every stuck
+        thread and the tag it is waiting on."""
+        shown = [
+            f"tid{t.tid}:{t.state.name}"
+            + (f"(tag={t.tid})" if t.state is ThreadState.WAITING else "")
+            for t in live[:32]
+        ]
+        if len(live) > 32:
+            shown.append(f"... (+{len(live) - 32} more)")
+        summary = " ".join(shown) if shown else "<none>"
+        return {f"stuck threads ({len(live)})": summary}

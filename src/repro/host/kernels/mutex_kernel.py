@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cmc_ops.mutex import decode_lock_response, init_lock, load_mutex_ops
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import TagWatchdog
 from repro.hmc.config import HMCConfig
 from repro.hmc.sim import HMCSim
 from repro.host.engine import EngineResult, HostEngine
@@ -60,6 +62,10 @@ KERNEL_VERSION = "mutex-1"
 #: Deadlock guard used by the paper sweeps.
 DEFAULT_MAX_CYCLES = 1_000_000
 
+#: Watchdog deadline for faulty runs: generous enough that only a
+#: genuinely lost response (not hot-spot contention) times out.
+FAULT_WATCHDOG_TIMEOUT = 4096
+
 
 def mutex_program(ctx: ThreadCtx, lock_addr: int = DEFAULT_LOCK_ADDR) -> Program:
     """Algorithm 1 as a thread program."""
@@ -86,6 +92,10 @@ class MutexRunStats:
     total_cycles: int
     send_stalls: int
     cmc_executions: int
+    #: Fault occurrences during the run (0 without a fault plan).
+    faults_injected: int = 0
+    #: Watchdog retransmissions (0 without a fault plan).
+    retransmits: int = 0
 
 
 def run_mutex_workload(
@@ -95,6 +105,7 @@ def run_mutex_workload(
     lock_addr: int = DEFAULT_LOCK_ADDR,
     sim: Optional[HMCSim] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> MutexRunStats:
     """Run Algorithm 1 with ``num_threads`` threads on ``config``.
 
@@ -106,6 +117,9 @@ def run_mutex_workload(
         sim: reuse an existing context (must already have the mutex
             ops loaded); a fresh one is created when omitted.
         max_cycles: deadlock guard.
+        fault_plan: optional fault plan to attach; a faulty run gets a
+            per-tag watchdog (dropped responses are retransmitted
+            instead of deadlocking the sweep).
 
     Returns:
         The MIN/MAX/AVG cycle statistics of §V.B.
@@ -115,11 +129,19 @@ def run_mutex_workload(
     if sim is None:
         sim = HMCSim(config)
         load_mutex_ops(sim)
+    if fault_plan is not None and sim.faults is None:
+        sim.attach_faults(fault_plan)
     init_lock(sim, lock_addr)
-    engine = HostEngine(sim, max_cycles=max_cycles)
+    watchdog = (
+        TagWatchdog(timeout=FAULT_WATCHDOG_TIMEOUT) if sim.faults is not None else None
+    )
+    engine = HostEngine(sim, max_cycles=max_cycles, watchdog=watchdog)
     engine.add_threads(num_threads, lambda ctx: mutex_program(ctx, lock_addr))
     result: EngineResult = engine.run()
     cmc_execs = sum(op.executions for op in sim.cmc.operations())
+    faults_injected = (
+        sum(sim.faults.counters().values()) if sim.faults is not None else 0
+    )
     return MutexRunStats(
         config_name=config.describe(),
         threads=num_threads,
@@ -129,6 +151,8 @@ def run_mutex_workload(
         total_cycles=result.total_cycles,
         send_stalls=result.send_stalls,
         cmc_executions=cmc_execs,
+        faults_injected=faults_injected,
+        retransmits=result.retransmits,
     )
 
 
@@ -138,13 +162,15 @@ def mutex_task_spec(
     *,
     lock_addr: int = DEFAULT_LOCK_ADDR,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> TaskSpec:
     """One picklable sweep point for the parallel experiment engine.
 
     The spec captures everything :func:`run_mutex_workload` needs, so
     a worker process reproduces the point from scratch; its cache key
     folds in :data:`KERNEL_VERSION` plus the config and component
-    fingerprints (see :mod:`repro.parallel.tasks`).
+    fingerprints — and the fault-plan fingerprint when one is attached
+    (see :mod:`repro.parallel.tasks`).
     """
     return TaskSpec(
         kernel="mutex",
@@ -153,6 +179,7 @@ def mutex_task_spec(
         config=config,
         threads=num_threads,
         params=(("lock_addr", lock_addr), ("max_cycles", max_cycles)),
+        fault_plan=fault_plan,
     )
 
 
@@ -164,4 +191,5 @@ def run_task_spec(spec: TaskSpec) -> MutexRunStats:
         spec.threads,
         lock_addr=params.get("lock_addr", DEFAULT_LOCK_ADDR),
         max_cycles=params.get("max_cycles", DEFAULT_MAX_CYCLES),
+        fault_plan=spec.fault_plan,
     )

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
-from repro.errors import HMCSimError, HMCStatus
+from repro.errors import HMCSimError, HMCStatus, SimDeadlockError
+from repro.faults.diagnostics import collect_deadlock_dump
 from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.sim import HMCSim
 from repro.host.thread import ThreadCtx
@@ -170,9 +171,19 @@ class WindowedEngine:
             if not live:
                 break
             if self.sim.cycle >= deadline:
-                raise HMCSimError(
+                stuck = sorted(self._by_tag)
+                raise SimDeadlockError(
                     f"windowed workload did not complete within "
-                    f"{self.max_cycles} cycles"
+                    f"{self.max_cycles} cycles",
+                    dump=collect_deadlock_dump(
+                        self.sim,
+                        extra={
+                            f"awaiting slots ({len(stuck)})": " ".join(
+                                f"tag{t}" for t in stuck[:32]
+                            )
+                            or "<none>"
+                        },
+                    ),
                 )
             for thread in live:
                 if thread.to_send:

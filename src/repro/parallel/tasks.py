@@ -21,6 +21,10 @@ persistent result cache (:mod:`repro.parallel.cache`) keys an entry by
 * the **kernel version tag** — bumped by a kernel when its cycle
   semantics change (see ``KERNEL_VERSION`` in
   :mod:`repro.host.kernels.mutex_kernel`);
+* the **fault-plan fingerprint** — present only when the spec carries a
+  :class:`~repro.faults.plan.FaultPlan`, so a faulty point can never
+  alias a fault-free one (and fault-free keys are unchanged from before
+  fault injection existed);
 * the thread count and sorted kernel parameters.
 """
 
@@ -30,8 +34,9 @@ import hashlib
 import importlib
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.hmc.components import COMPONENTS
 from repro.hmc.config import HMCConfig
 
@@ -63,6 +68,11 @@ class TaskSpec:
         threads: thread count (the sweep axis of Figures 5-7).
         params: extra kernel parameters as a sorted tuple of
             ``(name, value)`` pairs; values must be JSON-representable.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan` the
+            runner attaches to the simulation.  Part of the cache key
+            (the plan fingerprint plus seed) whenever set, so faulty
+            results can never be served for fault-free requests or for
+            a different plan/seed.
     """
 
     kernel: str
@@ -71,6 +81,7 @@ class TaskSpec:
     config: HMCConfig
     threads: int
     params: Tuple[Tuple[str, Any], ...] = ()
+    fault_plan: Optional[FaultPlan] = None
 
     def param_dict(self) -> Dict[str, Any]:
         """The extra kernel parameters as a dict."""
@@ -109,17 +120,24 @@ def component_fingerprint(config: HMCConfig) -> str:
 
 
 def cache_key(spec: TaskSpec) -> str:
-    """Stable, filesystem-safe cache key for one task spec."""
-    return "-".join(
-        (
-            spec.kernel,
-            spec.kernel_version,
-            config_fingerprint(spec.config),
-            component_fingerprint(spec.config),
-            f"t{spec.threads}",
-            _digest({k: v for k, v in spec.params}),
-        )
-    )
+    """Stable, filesystem-safe cache key for one task spec.
+
+    Fault-free specs keep the historical five-segment key (existing
+    cache entries stay valid); a spec carrying a fault plan appends a
+    ``f<fingerprint>`` segment covering the plan's kinds, resolved
+    parameters, and seed.
+    """
+    segments = [
+        spec.kernel,
+        spec.kernel_version,
+        config_fingerprint(spec.config),
+        component_fingerprint(spec.config),
+        f"t{spec.threads}",
+        _digest({k: v for k, v in spec.params}),
+    ]
+    if spec.fault_plan is not None:
+        segments.append(f"f{spec.fault_plan.fingerprint()}")
+    return "-".join(segments)
 
 
 def _digest(doc: Dict[str, Any]) -> str:
