@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Structural lints for the simulator core package.
 
-Two checks, both run by ``main`` (and by ``tests/hmc/test_lint_clean.py``
-in tier-1 CI):
+Three checks, all run by ``main`` (and by
+``tests/hmc/test_lint_clean.py`` in tier-1 CI):
 
 1. **No function-level imports** in ``src/repro/hmc/``.  Imports inside
    functions on the per-cycle path (``hmcsim_process_rqst`` and friends
@@ -20,6 +20,16 @@ in tier-1 CI):
    through :mod:`repro.hmc.composition`, never import them by name.
    The banned-name list is derived from the *live* registry, so a newly
    registered built-in is automatically covered.
+
+3. **Oracle purity** in ``src/repro/oracle/``.  The differential oracle
+   is only a trustworthy reference while it shares *no* code with the
+   machinery it checks: it may use the wire format, command tables,
+   address map, AMO reference semantics, and the public
+   :class:`~repro.hmc.sim.HMCSim` facade (the differential runner
+   drives the engine through it), but never the cycle-engine internals
+   — ``device``, ``vault``, ``xbar``, ``link``.  An oracle that leans
+   on the vault's datapath would inherit the very bugs it exists to
+   find.
 
 Usage:  python scripts/lint_no_function_imports.py
 Exit status 0 when clean, 1 with one ``path:line`` diagnostic per
@@ -121,14 +131,64 @@ def run_seam_check(core_paths=CORE_MODULES) -> List[str]:
     return out
 
 
+#: The oracle package, and the engine internals it must never import.
+ORACLE_DIR = REPO / "src" / "repro" / "oracle"
+ORACLE_BANNED_MODULES = frozenset(
+    f"repro.hmc.{mod}" for mod in ("device", "vault", "xbar", "link")
+)
+
+
+def run_oracle_purity(
+    root: Path = ORACLE_DIR, banned: frozenset = ORACLE_BANNED_MODULES
+) -> List[str]:
+    """Diagnostics for oracle modules importing cycle-engine internals.
+
+    Catches ``import repro.hmc.vault``, ``from repro.hmc.vault import
+    …``, and ``from repro.hmc import vault`` alike.
+    """
+    out: List[str] = []
+    tails = {m.rsplit(".", 1)[1] for m in banned}
+    for path in sorted(root.rglob("*.py")):
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            hits: List[str] = []
+            if isinstance(node, ast.Import):
+                hits = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in banned
+                    or any(alias.name.startswith(m + ".") for m in banned)
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in banned or any(
+                    (node.module or "").startswith(m + ".") for m in banned
+                ):
+                    hits = [node.module]
+                elif node.module == "repro.hmc":
+                    hits = [
+                        f"repro.hmc.{alias.name}"
+                        for alias in node.names
+                        if alias.name in tails
+                    ]
+            for hit in hits:
+                out.append(
+                    f"{shown}:{node.lineno}: oracle module imports "
+                    f"cycle-engine internal {hit!r} — the functional "
+                    f"reference must stay independent of the datapath "
+                    f"it checks"
+                )
+    return out
+
+
 def main() -> int:
-    diags = run() + run_seam_check()
+    diags = run() + run_seam_check() + run_oracle_purity()
     for diag in diags:
         print(diag)
     if diags:
         print(
-            f"\n{len(diags)} lint violation(s) in "
-            f"{LINTED.relative_to(REPO)} — see scripts/lint_no_function_imports.py"
+            f"\n{len(diags)} lint violation(s) — see "
+            f"scripts/lint_no_function_imports.py"
         )
         return 1
     return 0

@@ -7,6 +7,8 @@ Installed as ``hmcsim-repro`` (also ``python -m repro``):
   Figures 5-7 sweep, render ASCII charts, export CSV.
 * ``hmcsim-repro kernel mutex|ticket|stream|gups|bfs|hist`` — run one
   workload kernel and print its statistics.
+* ``hmcsim-repro fuzz --seeds 64 --shrink`` — differential-fuzz the
+  datapath against the functional oracle (see ``docs/CORRECTNESS.md``).
 * ``hmcsim-repro info`` — show the command space and configurations.
 
 Experiment commands accept ``--component seam=impl`` (repeatable) to
@@ -230,6 +232,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the injected-fault timeline from FAULT trace events",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential-fuzz the datapath against the oracle"
+    )
+    p_fuzz.add_argument(
+        "--seed", type=lambda s: int(s, 0), default=0, metavar="N",
+        help="first seed (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="number of consecutive seeds to run (default 1)",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=256, metavar="N",
+        help="requests per trace (default 256)",
+    )
+    p_fuzz.add_argument(
+        "--profile", default="all",
+        help="traffic profile, or 'all' to rotate mixed/cmc/spec/faulty "
+        "by seed (default all)",
+    )
+    p_fuzz.add_argument(
+        "--config", choices=["4link_4gb", "8link_8gb"], default="4link_4gb"
+    )
+    p_fuzz.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug each failing trace to a minimal reproducer",
+    )
+    p_fuzz.add_argument(
+        "--emit-repro", metavar="DIR", dest="emit_repro",
+        help="write failing traces (shrunk, with --shrink) as JSON "
+        "fixtures under DIR",
+    )
+
     p_verify = sub.add_parser(
         "verify", help="verify the paper's published numbers"
     )
@@ -450,6 +485,61 @@ def _cmd_info(out) -> int:
     return 0
 
 
+#: ``fuzz --profile all`` rotation: every 4 consecutive seeds cover the
+#: full command mix, CMC-heavy traffic, the spec-only mix, and a run
+#: under an oracle-exact fault plan.
+_FUZZ_ROTATION = ("mixed", "cmc", "spec", "faulty")
+
+
+def _cmd_fuzz(args, out) -> int:
+    from pathlib import Path
+
+    from repro.oracle import PROFILES, emit_repro, generate_trace, run_trace
+    from repro.oracle import shrink_trace
+
+    if args.profile != "all" and args.profile not in PROFILES:
+        raise SystemExit(
+            f"hmcsim-repro: error: unknown profile {args.profile!r} "
+            f"(have: all, {', '.join(sorted(PROFILES))})"
+        )
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        profile = (
+            _FUZZ_ROTATION[seed % len(_FUZZ_ROTATION)]
+            if args.profile == "all" else args.profile
+        )
+        trace = generate_trace(
+            seed, profile=profile, count=args.count, config_name=args.config
+        )
+        result = run_trace(trace)
+        out.write(result.summary() + "\n")
+        if result.ok:
+            continue
+        failures += 1
+        for m in result.mismatches:
+            out.write(m.describe() + "\n")
+        if args.shrink:
+            trace = shrink_trace(trace)
+            out.write(
+                f"  shrunk to {len(trace.requests)} request(s), "
+                f"{len(trace.preloads)} preload(s):\n"
+            )
+            for req in trace.requests:
+                out.write(f"    {req.describe()}\n")
+        if args.emit_repro:
+            directory = Path(args.emit_repro)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = emit_repro(
+                trace, directory / f"repro_seed{seed}_{profile}.json"
+            )
+            out.write(f"  fixture written to {path}\n")
+    if failures:
+        out.write(f"FAIL: {failures}/{args.seeds} seed(s) diverged\n")
+        return 1
+    out.write(f"OK: {args.seeds} seed(s), no divergence\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -466,6 +556,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_chase(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, out)
     if args.command == "verify":
         from repro.analysis.verify import render_verification_report, verify_all
 

@@ -21,6 +21,9 @@ Checked invariants:
   never leak.
 * **Queue bounds** — no :class:`~repro.hmc.queue.StallQueue` holds
   more entries than its depth.
+* **Queue counters** — per queue, ``pushes - pops == occupancy``: the
+  schedulers' hand-maintained counters on the raw-deque fast path must
+  track every entry that enters or leaves.
 
 The checker is opt-in and O(system) per call — it walks every queue —
 so hosts enable it in chaos/regression runs, not in performance
@@ -55,6 +58,7 @@ class InvariantChecker:
         host engine calls it after its drain phase), when no packet is
         mid-transfer between structures."""
         self._check_queue_bounds(cycle)
+        self._check_queue_counters(cycle)
         self._check_token_conservation(cycle)
         self._check_tag_conservation(cycle)
         self.checks += 1
@@ -76,6 +80,23 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"queue-bound invariant violated at cycle {cycle}: "
                     f"{q.name} holds {len(q._q)} entries, depth {q.depth}"
+                )
+
+    def _check_queue_counters(self, cycle: int) -> None:
+        """``pushes - pops == occupancy`` for every bounded queue.
+
+        The vault schedulers complete requests out of order through the
+        raw deque (``StallQueue.raw``) and maintain the counters by
+        hand; this audit catches any path that removes an entry without
+        booking the pop (or vice versa).
+        """
+        for q in self._iter_queues():
+            if q.pushes - q.pops != len(q._q):
+                raise InvariantViolation(
+                    f"queue-counter invariant violated at cycle {cycle}: "
+                    f"{q.name} has pushes={q.pushes} pops={q.pops} but "
+                    f"holds {len(q._q)} entries "
+                    f"(drift {q.pushes - q.pops - len(q._q):+d})"
                 )
 
     # -- token conservation ----------------------------------------------------

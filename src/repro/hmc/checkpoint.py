@@ -22,17 +22,27 @@ structure written with :mod:`json` + raw page blobs, so checkpoints
 remain inspectable and robust across library versions.  Version 2
 added the component-selection fields to the configuration fingerprint
 (a checkpoint taken under one pipeline composition must not restore
-into another) and the in-transit topology state.
+into another) and the in-transit topology state.  Version 3 added the
+fault subsystem: the host's outstanding-tag set, the fault
+controller's counters and lost-tag set, and (via the ``watchdog=``
+parameter) the host watchdog's armed tags, deadlines, and attempt
+history — so a faulty run can checkpoint with a response destroyed
+and mid-retransmission, and resume bit-identically.  Version 2 files
+still restore (their fault state defaults to empty); fault draws are
+stateless splitmix64 hashes of (seed, cycle, coordinates), so no RNG
+state needs capturing.
 """
 
 from __future__ import annotations
 
 import base64
+import heapq
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import HMCSimError
+from repro.faults.watchdog import ArmedTag, TagWatchdog
 from repro.hmc.packet import RequestPacket, ResponsePacket
 from repro.hmc.registers import HMC_REG
 from repro.hmc.sim import HMCSim
@@ -40,7 +50,12 @@ from repro.hmc.topology import Topology
 
 __all__ = ["save_checkpoint", "restore_checkpoint", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+
+#: Versions restore_checkpoint accepts.  Version 2 predates the fault
+#: subsystem; its files carry no outstanding/fault/watchdog state and
+#: restore with those defaults (empty).
+_SUPPORTED_VERSIONS = (2, 3)
 
 
 def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
@@ -189,6 +204,101 @@ def _restore_topology(sim: HMCSim, doc: Dict[str, object]) -> None:
     topo.forwarded_responses = doc["forwarded_responses"]
 
 
+# -- fault subsystem (de)serialization ------------------------------------------
+
+
+def _encode_faults(sim: HMCSim) -> object:
+    ctl = sim.faults
+    if ctl is None:
+        return None
+    return {
+        # The plan fingerprint: restoring fault state into a context
+        # with different injectors (or a different seed, which drives
+        # every stateless draw) would silently change the fault stream.
+        "plan": ctl.plan.describe(),
+        "seed": ctl.plan.seed,
+        "counts": dict(sorted(ctl.counts.items())),
+        "lost_tags": sorted(list(t) for t in ctl.lost_tags),
+    }
+
+
+def _restore_faults(sim: HMCSim, doc: object) -> None:
+    ctl = sim.faults
+    if doc is None:
+        # Fault-free checkpoint (or version 2): a fresh controller on
+        # the target side keeps its empty state.
+        return
+    if ctl is None:
+        raise HMCSimError(
+            "checkpoint carries fault-controller state but the target "
+            "context has no fault plan attached"
+        )
+    if (ctl.plan.describe(), ctl.plan.seed) != (doc["plan"], doc["seed"]):
+        raise HMCSimError(
+            f"checkpoint fault plan [{doc['plan']} seed={doc['seed']:#x}] "
+            f"does not match the target plan [{ctl.plan.describe()} "
+            f"seed={ctl.plan.seed:#x}]"
+        )
+    ctl.counts = dict(doc["counts"])
+    ctl.lost_tags = {(cub, tag) for cub, tag in doc["lost_tags"]}
+
+
+def _encode_watchdog(watchdog: TagWatchdog) -> Dict[str, object]:
+    return {
+        "timeout": watchdog.timeout,
+        "max_retries": watchdog.max_retries,
+        "backoff": watchdog.backoff,
+        "serial": watchdog._serial,
+        "timeouts": watchdog.timeouts,
+        "retransmits": watchdog.retransmits,
+        "attempts": sorted(watchdog._attempts.items()),
+        "armed": [
+            {
+                "tag": e.tag,
+                "packet": _encode_rqst(e.packet),
+                "dev": e.dev,
+                "link": e.link,
+                "attempts": e.attempts,
+                "deadline": e.deadline,
+                "serial": e.serial,
+            }
+            for _tag, e in sorted(watchdog._armed.items())
+        ],
+    }
+
+
+def _restore_watchdog(watchdog: TagWatchdog, doc: Dict[str, object]) -> None:
+    params = (doc["timeout"], doc["max_retries"], doc["backoff"])
+    have = (watchdog.timeout, watchdog.max_retries, watchdog.backoff)
+    if params != have:
+        raise HMCSimError(
+            f"checkpoint watchdog parameters {params} do not match the "
+            f"target watchdog {have}"
+        )
+    watchdog._serial = doc["serial"]
+    watchdog.timeouts = doc["timeouts"]
+    watchdog.retransmits = doc["retransmits"]
+    watchdog._attempts = {tag: n for tag, n in doc["attempts"]}
+    watchdog._armed = {}
+    heap: List = []
+    for entry in doc["armed"]:
+        armed = ArmedTag(
+            tag=entry["tag"],
+            packet=_decode_rqst(entry["packet"]),
+            dev=entry["dev"],
+            link=entry["link"],
+            attempts=entry["attempts"],
+            deadline=entry["deadline"],
+            serial=entry["serial"],
+        )
+        watchdog._armed[armed.tag] = armed
+        heap.append((armed.deadline, armed.serial, armed.tag))
+    # Stale heap entries (disarmed/re-armed) need not be reproduced:
+    # lazy invalidation means the heap only has to cover live tags.
+    heapq.heapify(heap)
+    watchdog._heap = heap
+
+
 def _check_devices_quiesced(sim: HMCSim, action: str) -> None:
     """Devices (and the link layer) must hold nothing; packets on the
     inter-cube wire are fine — they serialize."""
@@ -205,11 +315,20 @@ def _check_devices_quiesced(sim: HMCSim, action: str) -> None:
         )
 
 
-def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
+def save_checkpoint(
+    sim: HMCSim,
+    path: Union[str, Path],
+    *,
+    watchdog: Optional[TagWatchdog] = None,
+) -> Path:
     """Write a checkpoint of a device-quiesced context.
 
     Packets in transit between cubes are captured; packets inside a
-    device are not serializable.
+    device are not serializable.  A device-quiesced context may still
+    owe responses — a fault destroyed them and the watchdog is waiting
+    to retransmit — so the host's outstanding-tag set, the fault
+    controller's counters and lost tags, and (when ``watchdog`` is
+    passed) the watchdog's armed state are all captured.
 
     Raises:
         HMCSimError: if any device holds packets in flight (drain first).
@@ -232,6 +351,9 @@ def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
         "pages": pages,
         "registers": registers,
         "topology": _encode_topology(sim),
+        "outstanding": sorted(sim._outstanding),
+        "faults": _encode_faults(sim),
+        "watchdog": None if watchdog is None else _encode_watchdog(watchdog),
     }
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
@@ -239,16 +361,24 @@ def save_checkpoint(sim: HMCSim, path: Union[str, Path]) -> Path:
     return p
 
 
-def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
+def restore_checkpoint(
+    sim: HMCSim,
+    path: Union[str, Path],
+    *,
+    watchdog: Optional[TagWatchdog] = None,
+) -> None:
     """Load a checkpoint into a freshly built context.
 
     The target context must have an equivalent configuration —
-    including the same component selection for every pipeline seam —
-    and CMC plugins must be re-loaded by the caller afterwards.
+    including the same component selection for every pipeline seam,
+    and the same fault plan when the checkpoint carries fault state —
+    and CMC plugins must be re-loaded by the caller afterwards.  When
+    the checkpoint holds watchdog state, pass the (identically
+    parameterized) target watchdog via ``watchdog=``.
 
     Raises:
-        HMCSimError: version or configuration mismatch, or a non-idle
-            target context.
+        HMCSimError: version, configuration, fault-plan, or watchdog
+            mismatch, or a non-idle target context.
     """
     _check_devices_quiesced(sim, "restore")
     if sim.topology.in_transit:
@@ -256,10 +386,10 @@ def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
             "cannot restore into a context with packets in flight between cubes"
         )
     doc = json.loads(Path(path).read_text())
-    if doc.get("version") != CHECKPOINT_VERSION:
+    if doc.get("version") not in _SUPPORTED_VERSIONS:
         raise HMCSimError(
             f"checkpoint version {doc.get('version')} is not supported "
-            f"(expected {CHECKPOINT_VERSION})"
+            f"(expected one of {_SUPPORTED_VERSIONS})"
         )
     want = _config_fingerprint(sim)
     if doc["config"] != want:
@@ -281,3 +411,13 @@ def restore_checkpoint(sim: HMCSim, path: Union[str, Path]) -> None:
     sim.send_stalls = counters["send_stalls"]
     sim.recvd_rsps = counters["recvd_rsps"]
     _restore_topology(sim, doc["topology"])
+    sim._outstanding = set(doc.get("outstanding", ()))
+    _restore_faults(sim, doc.get("faults"))
+    wd_doc = doc.get("watchdog")
+    if wd_doc is not None:
+        if watchdog is None:
+            raise HMCSimError(
+                "checkpoint carries watchdog state — pass the target "
+                "watchdog via watchdog="
+            )
+        _restore_watchdog(watchdog, wd_doc)

@@ -84,17 +84,19 @@ class StallQueue(Generic[T]):
         e.g. the downstream queue stalled after the entry was taken).
 
         Always succeeds, even when the queue already sits at full
-        depth, and never records a stall or a push: the entry
-        logically still owns the slot its pop released, so re-seating
-        it is bookkeeping, not a new arrival.  The matching pop is
-        rolled back (never below zero, so an unpaired requeue cannot
-        drive ``pops`` negative), and the high-water mark absorbs the
-        momentary re-occupancy.
+        depth, and never records a stall: the entry logically still
+        owns the slot its pop released, so re-seating it is
+        bookkeeping, not a new arrival.  The matching pop is rolled
+        back; an *unpaired* requeue (no pop recorded this epoch, e.g.
+        after :meth:`reset_stats`) counts as a push instead, so the
+        ``pushes - pops == occupancy`` identity holds either way.
         """
         q = self._q
         q.appendleft(item)
         if self.pops > 0:
             self.pops -= 1
+        else:
+            self.pushes += 1
         n = len(q)
         if n > self.high_water:
             self.high_water = n
@@ -139,8 +141,16 @@ class StallQueue(Generic[T]):
         self._q.clear()
 
     def reset_stats(self) -> None:
-        """Zero the push/pop/stall counters and high-water mark."""
-        self.pushes = self.pops = self.stalls = 0
+        """Start a fresh statistics epoch.
+
+        Entries still queued are carried into the new epoch as pushes
+        (``pushes = occupancy``, ``pops = 0``): zeroing both counters
+        on a non-empty queue would silently break the ``pushes - pops
+        == occupancy`` identity that the invariant checker audits every
+        cycle.
+        """
+        self.pushes = len(self._q)
+        self.pops = self.stalls = 0
         self.high_water = len(self._q)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,283 @@
+"""Differential runner: one trace through the engine and the oracle.
+
+The engine side drives :class:`~repro.hmc.sim.HMCSim` exclusively
+through its public host API (``send``/``recv``/``clock``/``drain``/
+``mem_read``/``jtag_reg_read``); the oracle side replays the same
+request list through :class:`~repro.oracle.model.Oracle`.  Afterwards
+the two are diffed on four axes:
+
+* per-request responses (presence, command code, payload, ERRSTAT,
+  DINV), matched by ``(cub, tag)``;
+* unexpected or duplicate responses;
+* the final memory image over the trace's declared check ranges;
+* the final register file (every implemented register, via JTAG).
+
+Requests are injected strictly in trace order: request *i+1* is not
+offered to the device until request *i* has been accepted.  A send
+stall clocks the device and retries — the normal ``hmcsim_send``
+contract.
+
+Acceptance is not completion, and the engine orders only requests that
+share a vault queue — so before sending a request whose footprint
+overlaps an in-flight request (with at least one of the pair mutating
+state), the runner drains the device to quiescence.  That fences
+exactly the architecturally-unordered races; all other traffic stays
+concurrent, which is where the queueing, crossbar, and stall-path bugs
+live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import HMCStatus, SimDeadlockError, TagError
+from repro.faults.plan import FaultPlan
+from repro.hmc.commands import CommandKind, command_for_code, hmc_rqst_t
+from repro.hmc.packet import RequestPacket
+from repro.hmc.registers import HMC_REG
+from repro.hmc.sim import HMCSim
+from repro.oracle.model import Expectation, Oracle
+from repro.oracle.trafficgen import Trace, TraceRequest
+
+__all__ = ["Mismatch", "DiffResult", "build_packet", "run_trace"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between the engine and the oracle."""
+
+    #: Index of the offending request in the trace, or None for global
+    #: findings (memory/register divergence, deadlock).
+    index: Optional[int]
+    kind: str
+    expected: str
+    actual: str
+    request: str = ""
+
+    def describe(self) -> str:
+        where = f"request #{self.index} ({self.request})" if self.index is not None else "trace"
+        return (
+            f"{self.kind} @ {where}\n"
+            f"    expected: {self.expected}\n"
+            f"    actual:   {self.actual}"
+        )
+
+
+@dataclass
+class DiffResult:
+    """Outcome of one differential run."""
+
+    trace: Trace
+    mismatches: List[Mismatch] = field(default_factory=list)
+    cycles: int = 0
+    responses: int = 0
+    #: Fault events the engine injected during the run, by fault name
+    #: (empty when the trace carries no FaultPlan).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} mismatch(es)"
+        return (
+            f"seed={self.trace.seed} profile={self.trace.profile} "
+            f"requests={len(self.trace.requests)} responses={self.responses} "
+            f"cycles={self.cycles}: {status}"
+        )
+
+
+def build_packet(req: TraceRequest) -> RequestPacket:
+    """Materialize a trace request as a wire packet.
+
+    CMC payloads in a trace are always stored at full registered
+    length, so the FLIT count falls out of the data size; spec commands
+    take their length from the command table.
+    """
+    rqst = hmc_rqst_t(req.cmd)
+    info = command_for_code(req.cmd)
+    flits = 1 + len(req.data) // 16 if info.kind is CommandKind.CMC else None
+    return RequestPacket.build(
+        rqst, req.addr, req.tag, data=req.data, rqst_flits=flits
+    )
+
+
+def run_trace(
+    trace: Trace,
+    *,
+    max_mismatches: int = 64,
+    max_cycles: int = 500_000,
+) -> DiffResult:
+    """Execute ``trace`` on both sides and diff the outcomes."""
+    config = trace.config()
+    sim = HMCSim(config)
+    oracle = Oracle(config)
+    for module in trace.cmc_modules:
+        sim.load_cmc(module)
+        oracle.load_cmc(module)
+    if trace.fault_specs:
+        sim.attach_faults(
+            FaultPlan.parse(trace.fault_specs, seed=trace.fault_seed)
+        )
+    for addr, data in trace.preloads:
+        sim.mem_write(addr, data)
+        oracle.mem_write(addr, data)
+
+    result = DiffResult(trace=trace)
+    packets = [build_packet(r) for r in trace.requests]
+    expectations: List[Expectation] = [
+        oracle.execute(pkt, link=req.link)
+        for pkt, req in zip(packets, trace.requests)
+    ]
+
+    # (cub << 11) | tag — the same packed key HMCSim uses internally.
+    pending: Dict[int, int] = {}
+    index_of_key: Dict[int, int] = {}
+    actual: Dict[int, object] = {}
+    # In-flight state footprints: key → (lo, hi, mutates).  Returning
+    # requests retire when their response arrives; posted ones only at
+    # the next quiesce, since nothing announces their completion.
+    inflight: Dict[int, tuple] = {}
+    num_links = config.num_links
+    start_cycle = sim.cycle
+
+    def note(index: Optional[int], kind: str, expected: str, actual_s: str) -> None:
+        if len(result.mismatches) < max_mismatches:
+            req_s = trace.requests[index].describe() if index is not None else ""
+            result.mismatches.append(
+                Mismatch(index=index, kind=kind, expected=expected,
+                         actual=actual_s, request=req_s)
+            )
+
+    def poll() -> None:
+        drained = False
+        while not drained:
+            drained = True
+            for link in range(num_links):
+                rsp = sim.recv(link=link)
+                if rsp is None:
+                    continue
+                drained = False
+                result.responses += 1
+                key = (rsp.cub << 11) | rsp.tag
+                idx = pending.pop(key, None)
+                if idx is None:
+                    note(
+                        index_of_key.get(key),
+                        "unexpected_response",
+                        "no (further) response for this tag",
+                        f"cmd={rsp.cmd:#04x} tag={rsp.tag} "
+                        f"errstat={rsp.errstat:#04x} data={rsp.data.hex() or '-'}",
+                    )
+                else:
+                    actual[idx] = rsp
+                    inflight.pop(idx, None)
+
+    def conflicts(req: TraceRequest) -> bool:
+        if not req.footprint:
+            return False
+        lo, hi = req.addr, req.addr + req.footprint
+        return any(
+            lo < f_hi and hi > f_lo and (req.mutates or f_mut)
+            for f_lo, f_hi, f_mut in inflight.values()
+        )
+
+    aborted = False
+    for i, (req, pkt, exp) in enumerate(zip(trace.requests, packets, expectations)):
+        key = (pkt.cub << 11) | pkt.tag
+        index_of_key[key] = i
+        if conflicts(req):
+            try:
+                sim.drain(max_cycles=max_cycles)
+            except SimDeadlockError as exc:
+                note(i, "deadlock", "pre-send fence drains to idle", str(exc))
+                aborted = True
+                break
+            poll()
+            inflight.clear()
+        if req.footprint:
+            inflight[i] = (req.addr, req.addr + req.footprint, req.mutates)
+        if exp.has_rsp:
+            pending[key] = i
+        try:
+            while sim.send(pkt, link=req.link) is HMCStatus.STALL:
+                sim.clock()
+                poll()
+                if sim.cycle - start_cycle > max_cycles:
+                    note(i, "send_timeout",
+                         f"request accepted within {max_cycles} cycles",
+                         f"still stalled at cycle {sim.cycle}")
+                    aborted = True
+                    break
+        except TagError as exc:
+            note(i, "tag_error", "send accepted", str(exc))
+            aborted = True
+        if aborted:
+            break
+
+    if not aborted:
+        try:
+            sim.drain(max_cycles=max_cycles)
+        except SimDeadlockError as exc:
+            note(None, "deadlock", "trace drains to idle", str(exc))
+    poll()
+    result.cycles = sim.cycle - start_cycle
+
+    # Response-level diff.
+    for i, exp in enumerate(expectations):
+        rsp = actual.get(i)
+        if not exp.has_rsp:
+            # A response to a posted request surfaces above as
+            # unexpected_response; nothing more to check here.
+            continue
+        if rsp is None:
+            if not aborted:
+                note(i, "missing_response", exp.describe(), "no response received")
+            continue
+        got = (
+            f"cmd={rsp.cmd:#04x} tag={rsp.tag} errstat={rsp.errstat:#04x} "
+            f"dinv={rsp.dinv} data={rsp.data.hex() or '-'}"
+        )
+        if rsp.cmd != exp.rsp_cmd:
+            note(i, "rsp_cmd", exp.describe(), got)
+        elif rsp.errstat != exp.errstat:
+            note(i, "rsp_errstat", exp.describe(), got)
+        elif rsp.data != exp.data:
+            note(i, "rsp_data", exp.describe(), got)
+        elif rsp.dinv != exp.dinv:
+            note(i, "rsp_dinv", exp.describe(), got)
+
+    # Memory-image diff over the trace's declared windows.
+    for base, length in trace.check_ranges:
+        engine_bytes = sim.mem_read(base, length)
+        oracle_bytes = oracle.mem_read(base, length)
+        if engine_bytes == oracle_bytes:
+            continue
+        off = next(
+            k for k in range(length) if engine_bytes[k] != oracle_bytes[k]
+        )
+        lo = max(0, off - 4)
+        note(
+            None,
+            "memory",
+            f"[{base + off:#x}] …{oracle_bytes[lo:off + 12].hex()}…",
+            f"[{base + off:#x}] …{engine_bytes[lo:off + 12].hex()}…",
+        )
+
+    # Register-file diff through the public JTAG path.
+    for name, reg in sorted(HMC_REG.items()):
+        engine_val = sim.jtag_reg_read(0, reg)
+        oracle_val = oracle.registers(0).read(reg)
+        if engine_val != oracle_val:
+            note(
+                None,
+                "register",
+                f"{name}={oracle_val:#x}",
+                f"{name}={engine_val:#x}",
+            )
+
+    if sim.faults is not None:
+        result.fault_counts = dict(sim.faults.counts)
+    return result

@@ -1,0 +1,171 @@
+"""Delta-debugging shrinker and regression-fixture I/O.
+
+``shrink_trace`` reduces a failing trace to a (1-)minimal request list
+with the classic ddmin loop — remove chunks at increasing granularity,
+keep any candidate that still fails — followed by a greedy
+one-request-at-a-time pass and a preload-pruning pass.  "Fails" means
+:func:`repro.oracle.differ.run_trace` reports at least one mismatch;
+the shrinker never looks at *which* mismatch, so a trace that morphs
+from one bug into another still shrinks to something failing.
+
+``emit_repro``/``load_repro`` round-trip a trace through a small JSON
+document (command names, hex payloads) so a minimized reproducer can
+be committed under ``tests/oracle/repros/`` and replayed forever by
+``tests/oracle/test_repros.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, List, Union
+
+from repro.hmc.commands import hmc_rqst_t
+from repro.oracle.differ import DiffResult, run_trace
+from repro.oracle.trafficgen import Trace, TraceRequest
+
+__all__ = ["shrink_trace", "emit_repro", "load_repro", "REPRO_FORMAT"]
+
+#: Fixture format version, bumped on any incompatible schema change.
+REPRO_FORMAT = 1
+
+
+def shrink_trace(
+    trace: Trace,
+    *,
+    runner: Callable[[Trace], DiffResult] = run_trace,
+    max_runs: int = 400,
+) -> Trace:
+    """Minimize a failing trace; returns the smallest still-failing trace.
+
+    Raises:
+        ValueError: if ``trace`` does not fail under ``runner`` (there
+            is nothing to shrink).
+    """
+    runs = 0
+
+    def fails(requests: List[TraceRequest], candidate: Trace = None) -> bool:
+        nonlocal runs
+        runs += 1
+        t = candidate or replace(trace, requests=tuple(requests))
+        return not runner(t).ok
+
+    requests = list(trace.requests)
+    if not fails(requests):
+        raise ValueError("trace does not fail: nothing to shrink")
+
+    # ddmin over the request list.
+    granularity = 2
+    while len(requests) >= 2 and runs < max_runs:
+        chunk = -(-len(requests) // granularity)  # ceil division
+        reduced = False
+        for i in range(granularity):
+            candidate = requests[: i * chunk] + requests[(i + 1) * chunk :]
+            if candidate and fails(candidate):
+                requests = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if runs >= max_runs:
+                break
+        if not reduced:
+            if granularity >= len(requests):
+                break
+            granularity = min(len(requests), granularity * 2)
+
+    # Greedy single-request elimination (catches what chunking missed).
+    i = len(requests) - 1
+    while i >= 0 and len(requests) > 1 and runs < max_runs:
+        candidate = requests[:i] + requests[i + 1 :]
+        if fails(candidate):
+            requests = candidate
+        i -= 1
+
+    shrunk = replace(trace, requests=tuple(requests))
+
+    # Drop preloads the failure does not depend on.
+    preloads = list(shrunk.preloads)
+    i = len(preloads) - 1
+    while i >= 0 and runs < max_runs:
+        candidate = replace(
+            shrunk, preloads=tuple(preloads[:i] + preloads[i + 1 :])
+        )
+        if fails([], candidate):
+            preloads = preloads[:i] + preloads[i + 1 :]
+            shrunk = candidate
+        i -= 1
+    return shrunk
+
+
+def emit_repro(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace as a ready-to-commit JSON regression fixture."""
+    doc = {
+        "format": REPRO_FORMAT,
+        "seed": trace.seed,
+        "profile": trace.profile,
+        "config": trace.config_name,
+        "cmc_modules": list(trace.cmc_modules),
+        "fault_specs": list(trace.fault_specs),
+        "fault_seed": trace.fault_seed,
+        "preloads": [
+            {"addr": f"{addr:#x}", "data": data.hex()}
+            for addr, data in trace.preloads
+        ],
+        "check_ranges": [
+            {"addr": f"{addr:#x}", "length": length}
+            for addr, length in trace.check_ranges
+        ],
+        "requests": [
+            {
+                "cmd": hmc_rqst_t(r.cmd).name,
+                "addr": f"{r.addr:#x}",
+                "tag": r.tag,
+                "link": r.link,
+                "data": r.data.hex(),
+                "footprint": r.footprint,
+                "mutates": r.mutates,
+            }
+            for r in trace.requests
+        ],
+    }
+    out = Path(path)
+    out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return out
+
+
+def load_repro(path: Union[str, Path]) -> Trace:
+    """Load a fixture written by :func:`emit_repro`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported repro format {doc.get('format')!r} "
+            f"(this build reads format {REPRO_FORMAT})"
+        )
+    return Trace(
+        seed=doc["seed"],
+        profile=doc["profile"],
+        config_name=doc["config"],
+        cmc_modules=tuple(doc["cmc_modules"]),
+        fault_specs=tuple(doc["fault_specs"]),
+        fault_seed=doc["fault_seed"],
+        preloads=tuple(
+            (int(p["addr"], 0), bytes.fromhex(p["data"]))
+            for p in doc["preloads"]
+        ),
+        check_ranges=tuple(
+            (int(r["addr"], 0), r["length"]) for r in doc["check_ranges"]
+        ),
+        requests=tuple(
+            TraceRequest(
+                cmd=int(hmc_rqst_t[r["cmd"]]),
+                addr=int(r["addr"], 0),
+                tag=r["tag"],
+                link=r["link"],
+                data=bytes.fromhex(r["data"]),
+                footprint=r["footprint"],
+                mutates=r["mutates"],
+            )
+            for r in doc["requests"]
+        ),
+    )

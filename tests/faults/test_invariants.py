@@ -58,6 +58,15 @@ class TestViolationDetection:
         with pytest.raises(InvariantViolation, match="queue-bound"):
             checker.check(1)
 
+    def test_counter_drift_detected(self, sim):
+        # An entry removed from the raw deque without booking the pop
+        # breaks pushes - pops == occupancy.
+        checker = InvariantChecker(sim)
+        q = sim.devices[0].vaults[0].rqst_queue
+        q.pushes += 2  # two phantom arrivals never enqueued
+        with pytest.raises(InvariantViolation, match="queue-counter"):
+            checker.check(1)
+
     def test_leaked_tokens_detected(self):
         sim = HMCSim(
             HMCConfig.cfg_4link_4gb(), flow=LinkFlowModel(tokens_per_link=32)
@@ -71,8 +80,11 @@ class TestViolationDetection:
         checker = InvariantChecker(sim)
         sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0, 7))
         # Forcibly vanish the request from the crossbar queue — the tag
-        # is still host-outstanding but nowhere in the datapath.
+        # is still host-outstanding but nowhere in the datapath.  Book
+        # the pop so the queue-counter invariant stays satisfied and
+        # the tag-conservation check is the one that fires.
         q = sim.devices[0].xbar.rqst_queues[0]
+        q.pops += len(q._q)
         q._q.clear()
         with pytest.raises(InvariantViolation, match="cub0:tag7"):
             checker.check(1)

@@ -129,6 +129,140 @@ class TestMidFlightTopology:
             restore_checkpoint(other, p)
 
 
+class TestFaultStateRoundtrip:
+    """Version 3: the fault subsystem checkpoints mid-flight.
+
+    A response-destroying fault leaves the devices quiesced but the
+    host still waiting: the tag is outstanding, the controller records
+    it lost, and the watchdog counts down to a retransmission.  All of
+    that must survive a save/restore bit-identically.
+    """
+
+    def _faulty_pair(self):
+        from repro.faults.plan import FaultPlan
+
+        def build():
+            return HMCSim(
+                HMCConfig.cfg_4link_4gb(),
+                faults=FaultPlan.parse(["xbar_drop=1.0"]),
+            )
+
+        return build(), build()
+
+    def _lose_response(self, sim, tag=7):
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x40, tag))
+        sim.clock(10)  # the response is dropped at the retire port
+        assert (0, tag) in sim.faults.lost_tags
+        assert sim._outstanding
+
+    def test_outstanding_and_lost_tags_roundtrip(self, tmp_path):
+        sim, sim2 = self._faulty_pair()
+        self._lose_response(sim)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        restore_checkpoint(sim2, p)
+        assert sim2._outstanding == sim._outstanding
+        assert sim2.faults.lost_tags == sim.faults.lost_tags
+        assert sim2.faults.counts == sim.faults.counts
+
+    def test_watchdog_state_roundtrips_bit_identically(self, tmp_path):
+        from repro.faults.watchdog import TagWatchdog
+
+        sim, sim2 = self._faulty_pair()
+        wd = TagWatchdog(timeout=16, max_retries=3)
+        pkt = sim.build_memrequest(hmc_rqst_t.RD16, 0x40, 7)
+        sim.send(pkt)
+        wd.arm(7, pkt, dev=0, link=0, cycle=sim.cycle)
+        sim.clock(10)
+        assert (0, 7) in sim.faults.lost_tags
+        p = save_checkpoint(sim, tmp_path / "cp.json", watchdog=wd)
+
+        wd2 = TagWatchdog(timeout=16, max_retries=3)
+        restore_checkpoint(sim2, p, watchdog=wd2)
+        assert wd2.pending() == wd.pending() == (7,)
+        assert wd2._armed[7].deadline == wd._armed[7].deadline
+        assert wd2._armed[7].attempts == wd._armed[7].attempts
+        assert wd2._armed[7].packet.addr == pkt.addr
+
+        # Drive both pairs through the identical retransmission
+        # protocol; every observable must stay in lockstep (the drop
+        # draws are stateless hashes of the same seed and cycles).
+        def step(s, w, cycles=64):
+            for _ in range(cycles):
+                s.clock()
+                for entry in w.poll(s.cycle):
+                    if w.exhausted(entry):
+                        continue
+                    s.abandon_tag(0, entry.tag)
+                    s.send(entry.packet, dev=entry.dev, link=entry.link)
+                    w.note_retransmit()
+                    w.arm(
+                        entry.tag, entry.packet,
+                        dev=entry.dev, link=entry.link, cycle=s.cycle,
+                    )
+            return (
+                s.cycle, s.sent_rqsts, s.recvd_rsps,
+                dict(s.faults.counts), set(s.faults.lost_tags),
+                w.timeouts, w.retransmits, w.pending(),
+            )
+
+        assert step(sim, wd) == step(sim2, wd2)
+
+    def test_fault_state_needs_matching_plan(self, tmp_path):
+        from repro.faults.plan import FaultPlan
+
+        sim, _ = self._faulty_pair()
+        self._lose_response(sim)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        bare = HMCSim(HMCConfig.cfg_4link_4gb())
+        with pytest.raises(HMCSimError, match="no fault plan"):
+            restore_checkpoint(bare, p)
+        other = HMCSim(
+            HMCConfig.cfg_4link_4gb(),
+            faults=FaultPlan.parse(["xbar_drop=0.5"]),
+        )
+        with pytest.raises(HMCSimError, match="does not match"):
+            restore_checkpoint(other, p)
+
+    def test_watchdog_state_needs_watchdog(self, tmp_path):
+        from repro.faults.watchdog import TagWatchdog
+
+        sim, sim2 = self._faulty_pair()
+        p = save_checkpoint(sim, tmp_path / "cp.json", watchdog=TagWatchdog())
+        with pytest.raises(HMCSimError, match="watchdog"):
+            restore_checkpoint(sim2, p)
+
+    def test_version2_file_restores_with_empty_fault_state(
+        self, cfg4, tmp_path
+    ):
+        sim = HMCSim(cfg4)
+        sim.mem_write(0x100, b"legacy")
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())
+        # Rewrite as a version-2 document: no fault-era keys at all.
+        doc["version"] = 2
+        for key in ("outstanding", "faults", "watchdog"):
+            del doc[key]
+        p.write_text(json.dumps(doc))
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert sim2.mem_read(0x100, 6) == b"legacy"
+        assert not sim2._outstanding
+
+    def test_fault_free_checkpoint_restores_into_faulty_context(
+        self, cfg4, tmp_path
+    ):
+        from repro.faults.plan import FaultPlan
+
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        faulty = HMCSim(
+            HMCConfig.cfg_4link_4gb(),
+            faults=FaultPlan.parse(["xbar_drop=1.0"]),
+        )
+        restore_checkpoint(faulty, p)  # fresh controller state is kept
+        assert faulty.faults.counts == {}
+
+
 class TestGuards:
     def test_cannot_checkpoint_in_flight(self, cfg4, tmp_path):
         sim = HMCSim(cfg4)

@@ -64,6 +64,30 @@ def test_seam_check_flags_a_planted_violation(tmp_path: Path) -> None:
     assert "XBar" in diags[0] and "composition" in diags[0]
 
 
+def test_oracle_imports_no_cycle_engine_internals() -> None:
+    lint = _load_lint()
+    diags = lint.run_oracle_purity()
+    assert diags == [], "\n".join(diags)
+
+
+def test_oracle_purity_flags_planted_violations(tmp_path: Path) -> None:
+    """All three import spellings of an engine internal are caught."""
+    lint = _load_lint()
+    bad = tmp_path / "model.py"
+    bad.write_text(
+        "import repro.hmc.vault\n"
+        "from repro.hmc.xbar import XBar\n"
+        "from repro.hmc import link, commands\n"
+        "from repro.hmc.sim import HMCSim  # public facade: allowed\n"
+        "from repro.hmc.amo import reference_amo  # shared semantics: allowed\n"
+    )
+    diags = lint.run_oracle_purity(tmp_path)
+    assert len(diags) == 3, "\n".join(diags)
+    assert any("repro.hmc.vault" in d for d in diags)
+    assert any("repro.hmc.xbar" in d for d in diags)
+    assert any("repro.hmc.link" in d for d in diags)
+
+
 def test_lint_script_runs_standalone() -> None:
     import subprocess
 

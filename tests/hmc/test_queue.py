@@ -72,7 +72,22 @@ class TestBasics:
         q = StallQueue(2)
         q.requeue_head(7)  # unpaired: no pop preceded it
         assert q.pops == 0
+        # The unpaired requeue is booked as a push so the counter
+        # identity holds: pushes - pops == occupancy.
+        assert q.pushes == 1
+        assert q.pushes - q.pops == q.occupancy
         assert q.pop() == 7
+
+    def test_requeue_head_after_reset_keeps_identity(self):
+        # Regression: a requeue whose matching pop predates the stats
+        # epoch must not leave pushes - pops below the occupancy.
+        q = StallQueue(4)
+        q.push(1)
+        q.push(2)
+        head = q.pop()
+        q.reset_stats()
+        q.requeue_head(head)
+        assert q.pushes - q.pops == q.occupancy == 2
 
     def test_requeue_head_updates_high_water(self):
         q = StallQueue(2)
@@ -114,8 +129,19 @@ class TestBasics:
         q.push(1)
         assert not q.push(2)
         q.reset_stats()
-        assert q.pushes == q.pops == q.stalls == 0
+        # Queued entries are carried into the new epoch as pushes so
+        # pushes - pops == occupancy stays true across the reset.
+        assert q.pushes == 1
+        assert q.pops == q.stalls == 0
+        assert q.pushes - q.pops == q.occupancy == 1
         assert q.high_water == 1  # current occupancy
+
+    def test_reset_stats_empty_queue_zeroes_everything(self):
+        q = StallQueue(2)
+        q.push(1)
+        q.pop()
+        q.reset_stats()
+        assert q.pushes == q.pops == q.stalls == q.high_water == 0
 
 
 class TestStatistics:

@@ -1,0 +1,123 @@
+"""Unit tests for the functional oracle (no simulator involved).
+
+The oracle deliberately re-declares its ERRSTAT codes instead of
+importing them from the engine (purity: the oracle may not import
+cycle-engine internals), so the first test pins the two sets against
+each other — if the engine ever renumbers an error class, this file
+fails before any fuzz run would.
+"""
+
+import pytest
+
+from repro.hmc import vault as engine_vault
+from repro.hmc.commands import DEFINED_CODES, CommandKind, command_for_code, hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.packet import RequestPacket
+from repro.oracle import Oracle
+from repro.oracle import model as oracle_model
+
+
+@pytest.fixture
+def oracle():
+    return Oracle(HMCConfig.cfg_4link_4gb())
+
+
+class TestErrstatParity:
+    def test_error_codes_match_the_engine(self):
+        for name in (
+            "ERRSTAT_GENERIC",
+            "ERRSTAT_ADDRESS",
+            "ERRSTAT_CMC_INACTIVE",
+            "ERRSTAT_CMC_FAILED",
+        ):
+            assert getattr(oracle_model, name) == getattr(engine_vault, name), name
+
+
+class TestExpectsResponse:
+    def test_parity_for_every_spec_command(self, oracle):
+        # Flow commands are silent, posted commands are silent,
+        # everything else is answered — for all 58 defined codes.
+        for code in sorted(DEFINED_CODES):
+            info = command_for_code(code)
+            pkt = RequestPacket.build(
+                hmc_rqst_t(code), 0x40, 1, data=bytes(info.rqst_data_bytes or 0)
+            )
+            expected = info.kind is not CommandKind.FLOW and not info.posted
+            assert oracle.expects_response(pkt) == expected, info.rqst_name
+
+    def test_unregistered_cmc_is_answered_with_error(self, oracle):
+        pkt = RequestPacket.build(hmc_rqst_t.CMC04, 0x40, 1, rqst_flits=1)
+        assert oracle.expects_response(pkt) is True
+        exp = oracle.execute(pkt)
+        assert exp.has_rsp
+        assert exp.rsp_cmd == 0x3E
+        assert exp.errstat == oracle_model.ERRSTAT_CMC_INACTIVE
+
+
+class TestMemorySemantics:
+    def test_unwritten_memory_reads_zero(self, oracle):
+        exp = oracle.execute(RequestPacket.build(hmc_rqst_t.RD64, 0x1000, 3))
+        assert exp.has_rsp and exp.errstat == 0
+        assert exp.data == bytes(64)
+
+    def test_write_then_read_round_trips(self, oracle):
+        payload = bytes(range(32))
+        wr = oracle.execute(
+            RequestPacket.build(hmc_rqst_t.WR32, 0x2000, 4, data=payload)
+        )
+        assert wr.has_rsp and wr.errstat == 0 and wr.data == b""
+        rd = oracle.execute(RequestPacket.build(hmc_rqst_t.RD32, 0x2000, 5))
+        assert rd.data == payload
+
+    def test_posted_write_lands_silently(self, oracle):
+        payload = bytes(16)[:15] + b"\x7F"
+        exp = oracle.execute(
+            RequestPacket.build(hmc_rqst_t.P_WR16, 0x3000, 6, data=payload)
+        )
+        assert not exp.has_rsp
+        rd = oracle.execute(RequestPacket.build(hmc_rqst_t.RD16, 0x3000, 7))
+        assert rd.data == payload
+
+    def test_inc8_increments_in_place(self, oracle):
+        oracle.mem_write(0x4000, (41).to_bytes(8, "little"))
+        exp = oracle.execute(RequestPacket.build(hmc_rqst_t.INC8, 0x4000, 8))
+        assert exp.errstat == 0
+        assert oracle.mem_read(0x4000, 8) == (42).to_bytes(8, "little")
+
+    def test_out_of_range_read_is_an_address_error(self, oracle):
+        top = oracle.capacity
+        exp = oracle.execute(RequestPacket.build(hmc_rqst_t.RD128, top - 16, 9))
+        assert exp.has_rsp
+        assert exp.rsp_cmd == 0x3E
+        assert exp.errstat == oracle_model.ERRSTAT_ADDRESS
+
+    def test_out_of_range_posted_write_is_dropped(self, oracle):
+        exp = oracle.execute(
+            RequestPacket.build(
+                hmc_rqst_t.P_WR16, oracle.capacity - 8, 10, data=bytes(16)
+            )
+        )
+        assert not exp.has_rsp
+        assert exp.errstat == oracle_model.ERRSTAT_ADDRESS
+
+
+class TestModeRegisters:
+    def test_md_wr_then_md_rd_round_trips(self, oracle):
+        from repro.hmc.registers import HMC_REG
+
+        reg = HMC_REG["EDR0"]
+        wr = oracle.execute(
+            RequestPacket.build(
+                hmc_rqst_t.MD_WR, reg, 11, data=(0xA5).to_bytes(16, "little")
+            )
+        )
+        assert wr.has_rsp and wr.errstat == 0
+        rd = oracle.execute(RequestPacket.build(hmc_rqst_t.MD_RD, reg, 12))
+        got = int.from_bytes(rd.data[:8], "little")
+        assert got == oracle.registers(0).read(reg)
+
+
+class TestFlow:
+    def test_flow_commands_touch_nothing_and_answer_nothing(self, oracle):
+        exp = oracle.execute(RequestPacket.build(hmc_rqst_t.PRET, 0, 13))
+        assert not exp.has_rsp

@@ -1,0 +1,72 @@
+"""Replay every checked-in minimized repro fixture.
+
+Each ``repros/*.json`` file is a shrunk trace emitted by
+``hmcsim-repro fuzz --shrink --emit-repro`` for a divergence that has
+since been fixed in the datapath.  Replaying them keeps every fixed
+bug pinned: a regression turns exactly one fixture red, with the
+minimal requests in the failure message.
+
+The shrinker/fixture round-trip itself is also pinned here, so the
+machinery stays trustworthy even while the repro directory is empty
+(the Issue-5 burn-down found no surviving divergence — see
+``repros/README.md`` for the audited seed list).
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.oracle import (
+    emit_repro,
+    generate_trace,
+    load_repro,
+    run_trace,
+    shrink_trace,
+)
+
+_REPRO_DIR = Path(__file__).parent / "repros"
+_FIXTURES = sorted(_REPRO_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "path", _FIXTURES, ids=[p.stem for p in _FIXTURES]
+)
+def test_repro_stays_fixed(path):
+    trace = load_repro(path)
+    result = run_trace(trace)
+    assert result.ok, (
+        f"regression: fixture {path.name} diverges again\n"
+        + "\n".join(m.describe() for m in result.mismatches)
+    )
+
+
+def test_fixture_round_trip(tmp_path):
+    trace = generate_trace(0, profile="mixed", count=24)
+    path = tmp_path / "fixture.json"
+    emit_repro(trace, path)
+    assert load_repro(path) == trace
+
+
+def test_shrinker_minimizes_a_known_race(tmp_path):
+    # Strip the conflict-fencing metadata from a trace: the differ then
+    # stops serializing cross-vault overlaps, so architecturally legal
+    # reordering shows up as a divergence — a controlled stand-in for a
+    # real datapath bug.  The shrinker must cut it down and the fixture
+    # must replay to the same failure.
+    full = generate_trace(0, profile="spec", count=64)
+    raced = replace(
+        full,
+        requests=tuple(
+            replace(r, footprint=0, mutates=False) for r in full.requests
+        ),
+    )
+    assert not run_trace(raced).ok, "seed no longer races; pick another"
+    small = shrink_trace(raced)
+    assert len(small.requests) < len(raced.requests)
+    assert not run_trace(small).ok
+    path = tmp_path / "race.json"
+    emit_repro(small, path)
+    back = load_repro(path)
+    assert back == small
+    assert not run_trace(back).ok
