@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Measure simulator-core throughput and emit ``BENCH_core.json``.
 
-Four wall-clock benchmarks exercise the cycle-engine hot path:
+Seven wall-clock benchmarks exercise the cycle-engine hot path:
 
 * **mutex_sweep** — the paper's Algorithm-1 sweep (Figures 5-7 /
   Table VI) over a thinned thread axis (``REPRO_SWEEP_STEP``, default
@@ -14,10 +14,21 @@ Four wall-clock benchmarks exercise the cycle-engine hot path:
   count; on a single-core runner the honest ratio is ~1x);
 * **stream_triad** — stride-1 STREAM Triad (bandwidth-shaped traffic
   touching every vault);
-* **gups** — RandomAccess atomic-offload scatter.
+* **gups** — RandomAccess atomic-offload scatter;
+* **mutex_sweep_vector / stream_triad_vector / gups_vector** — the
+  same three workloads on the numpy flight-table engine
+  (``xbar="vector"``); each records ``speedup_vs_active_set``, the
+  wall-clock ratio against the scalar active-set entry measured in
+  the *same run* (same host, same load).  The engines are
+  bit-identical (enforced by the parity goldens, the sweep digest
+  test, and the oracle fuzz burn-down), so the identical
+  ``sim_cycles`` is asserted here too.  Skipped (``null``) when numpy
+  is not installed.
 
-Each reports wall seconds, simulated device cycles, and the headline
-metric **cycles/sec** (simulated cycles per wall-clock second).
+Each reports wall seconds, simulated device cycles, the headline
+metric **cycles/sec** (simulated cycles per wall-clock second), the
+engine that ran it, and the worker count (``jobs`` — 1 for every
+serial entry) alongside ``host_cores``.
 
 Usage::
 
@@ -41,7 +52,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
@@ -55,6 +66,11 @@ from repro.host.kernels.stream import run_stream_triad  # noqa: E402
 BASELINE_PATH = REPO / "benchmarks" / "baseline_seed.json"
 OUT_PATH = REPO / "BENCH_core.json"
 
+HOST_CORES = os.cpu_count() or 1
+
+#: Engine label for each xbar seam key.
+ENGINES = {"queued": "active_set", "vector": "vector"}
+
 
 def _axis(step: int):
     if step <= 1:
@@ -62,25 +78,35 @@ def _axis(step: int):
     return sorted(set(list(range(2, 101))[::step]) | {2, 99, 100})
 
 
-def bench_mutex_sweep(step: int) -> Dict[str, object]:
+def _entry(wall: float, cycles: int, xbar: str, **extra) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "wall_s": round(wall, 4),
+        "sim_cycles": cycles,
+        "cycles_per_sec": round(cycles / wall, 1) if wall else None,
+        "engine": ENGINES[xbar],
+        "jobs": 1,
+        "host_cores": HOST_CORES,
+    }
+    out.update(extra)
+    return out
+
+
+def bench_mutex_sweep(step: int, xbar: str = "queued") -> Dict[str, object]:
     axis = _axis(step)
     cycles = 0
     t0 = time.perf_counter()
-    for cfg in (HMCConfig.cfg_4link_4gb(), HMCConfig.cfg_8link_8gb()):
+    for cfg in (
+        HMCConfig.cfg_4link_4gb(xbar=xbar),
+        HMCConfig.cfg_8link_8gb(xbar=xbar),
+    ):
         for n in axis:
             cycles += run_mutex_workload(cfg, n).total_cycles
     wall = time.perf_counter() - t0
-    return {
-        "wall_s": round(wall, 4),
-        "sim_cycles": cycles,
-        "cycles_per_sec": round(cycles / wall, 1),
-        "points": len(axis) * 2,
-        "sweep_step": step,
-    }
+    return _entry(wall, cycles, xbar, points=len(axis) * 2, sweep_step=step)
 
 
 def bench_mutex_sweep_parallel(step: int, serial_wall: float) -> Dict[str, object]:
-    jobs = int(os.environ.get("REPRO_JOBS", "0")) or (os.cpu_count() or 1)
+    jobs = int(os.environ.get("REPRO_JOBS", "0")) or HOST_CORES
     axis = _axis(step)
     t0 = time.perf_counter()
     sweeps = [
@@ -89,37 +115,31 @@ def bench_mutex_sweep_parallel(step: int, serial_wall: float) -> Dict[str, objec
     ]
     wall = time.perf_counter() - t0
     cycles = sum(r.total_cycles for s in sweeps for r in s.runs)
-    return {
-        "wall_s": round(wall, 4),
-        "sim_cycles": cycles,
-        "cycles_per_sec": round(cycles / wall, 1),
-        "points": len(axis) * 2,
-        "sweep_step": step,
-        "jobs": jobs,
-        "host_cores": os.cpu_count() or 1,
-        "speedup_vs_serial": round(serial_wall / wall, 2) if wall else None,
-    }
+    out = _entry(wall, cycles, "queued", points=len(axis) * 2, sweep_step=step)
+    out["jobs"] = jobs
+    out["speedup_vs_serial"] = round(serial_wall / wall, 2) if wall else None
+    return out
 
 
-def bench_stream_triad() -> Dict[str, object]:
+def bench_stream_triad(xbar: str = "queued") -> Dict[str, object]:
     t0 = time.perf_counter()
     stats = run_stream_triad(
-        HMCConfig.cfg_4link_4gb(), num_threads=16, blocks_per_thread=48
+        HMCConfig.cfg_4link_4gb(xbar=xbar), num_threads=16, blocks_per_thread=48
     )
     wall = time.perf_counter() - t0
     assert stats.max_abs_error == 0.0
-    return {
-        "wall_s": round(wall, 4),
-        "sim_cycles": stats.cycles,
-        "cycles_per_sec": round(stats.cycles / wall, 1),
-        "bytes_per_cycle": round(stats.bytes_per_cycle, 3),
-    }
+    return _entry(
+        wall,
+        stats.cycles,
+        xbar,
+        bytes_per_cycle=round(stats.bytes_per_cycle, 3),
+    )
 
 
-def bench_gups() -> Dict[str, object]:
+def bench_gups(xbar: str = "queued") -> Dict[str, object]:
     t0 = time.perf_counter()
     stats = run_gups(
-        HMCConfig.cfg_4link_4gb(),
+        HMCConfig.cfg_4link_4gb(xbar=xbar),
         num_threads=16,
         updates_per_thread=48,
         table_entries=4096,
@@ -127,15 +147,46 @@ def bench_gups() -> Dict[str, object]:
     )
     wall = time.perf_counter() - t0
     assert stats.verified
-    return {
-        "wall_s": round(wall, 4),
-        "sim_cycles": stats.cycles,
-        "cycles_per_sec": round(stats.cycles / wall, 1),
-        "updates_per_cycle": round(stats.updates_per_cycle, 4),
-    }
+    return _entry(
+        wall,
+        stats.cycles,
+        xbar,
+        updates_per_cycle=round(stats.updates_per_cycle, 4),
+    )
 
 
-def run_all(step: int) -> Dict[str, Dict[str, object]]:
+def _have_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def _vector_row(
+    bench, scalar: Dict[str, object], *args
+) -> Optional[Dict[str, object]]:
+    """Run ``bench`` on the vector engine; ratio against ``scalar``.
+
+    The two engines simulate the same cycles by construction — a
+    mismatch means bit-identity broke, which the parity tests would
+    also catch, so fail loudly here rather than publish a bogus row.
+    """
+    if not _have_numpy():
+        return None
+    row = bench(*args, xbar="vector")
+    assert row["sim_cycles"] == scalar["sim_cycles"], (
+        f"vector engine simulated {row['sim_cycles']} cycles, "
+        f"active-set {scalar['sim_cycles']} — bit-identity broken"
+    )
+    row["speedup_vs_active_set"] = (
+        round(scalar["wall_s"] / row["wall_s"], 2) if row["wall_s"] else None
+    )
+    return row
+
+
+def run_all(step: int) -> Dict[str, object]:
     serial = bench_mutex_sweep(step)
     parallel = bench_mutex_sweep_parallel(step, serial["wall_s"])
     # The parallel engine's whole contract: identical simulated work.
@@ -143,11 +194,16 @@ def run_all(step: int) -> Dict[str, Dict[str, object]]:
         f"parallel sweep simulated {parallel['sim_cycles']} cycles, "
         f"serial {serial['sim_cycles']} — determinism broken"
     )
+    triad = bench_stream_triad()
+    gups = bench_gups()
     return {
         "mutex_sweep": serial,
         "mutex_sweep_parallel": parallel,
-        "stream_triad": bench_stream_triad(),
-        "gups": bench_gups(),
+        "stream_triad": triad,
+        "gups": gups,
+        "mutex_sweep_vector": _vector_row(bench_mutex_sweep, serial, step),
+        "stream_triad_vector": _vector_row(bench_stream_triad, triad),
+        "gups_vector": _vector_row(bench_gups, gups),
     }
 
 
@@ -169,6 +225,8 @@ def main() -> None:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "sweep_step": step,
+        "jobs": int(os.environ.get("REPRO_JOBS", "0")) or HOST_CORES,
+        "host_cores": HOST_CORES,
         "label": args.label,
     }
     results = run_all(step)
@@ -189,7 +247,7 @@ def main() -> None:
         speedup = {}
         for name, after in results.items():
             before = baseline["results"].get(name)
-            if not before or not before.get("wall_s"):
+            if not after or not before or not before.get("wall_s"):
                 continue
             if before.get("sweep_step", step) != after.get("sweep_step", step):
                 # A thinned sweep against a fuller baseline (or vice

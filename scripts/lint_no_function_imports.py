@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """Structural lints for the simulator core package.
 
-Three checks, all run by ``main`` (and by
+Four checks, all run by ``main`` (and by
 ``tests/hmc/test_lint_clean.py`` in tier-1 CI):
 
 1. **No function-level imports** in ``src/repro/hmc/``.  Imports inside
    functions on the per-cycle path (``hmcsim_process_rqst`` and friends
    ran one per packet before the active-set engine hoisted them) cost a
    dict lookup and a call per execution and hide the module's real
-   dependency graph.  One idiom is exempt: imports inside a
+   dependency graph.  Two idioms are exempt: imports inside a
    module-level ``__getattr__`` (PEP 562 lazy attribute access), the
    standard way to break an import cycle — never on the simulation hot
-   path.
+   path — and the composition root's registered optional-dependency
+   factories (``ALLOWED_LAZY_FACTORIES``), which import once per
+   constructed component.
 
 2. **Registry-only construction** in the core modules (``device.py``,
    ``sim.py``).  The concrete implementations of every pipeline seam —
@@ -27,9 +29,14 @@ Three checks, all run by ``main`` (and by
    address map, AMO reference semantics, and the public
    :class:`~repro.hmc.sim.HMCSim` facade (the differential runner
    drives the engine through it), but never the cycle-engine internals
-   — ``device``, ``vault``, ``xbar``, ``link``.  An oracle that leans
-   on the vault's datapath would inherit the very bugs it exists to
-   find.
+   — ``device``, ``vault``, ``xbar``, ``link``, ``vector``.  An oracle
+   that leans on the vault's datapath would inherit the very bugs it
+   exists to find.
+
+4. **Vector containment** in ``src/repro/``.  The numpy batch engine
+   (``repro.hmc.vector``) may be named only by the composition root's
+   registry factory and by the package itself; every other module
+   selects it through the ``xbar`` seam key.
 
 Usage:  python scripts/lint_no_function_imports.py
 Exit status 0 when clean, 1 with one ``path:line`` diagnostic per
@@ -49,15 +56,25 @@ LINTED = REPO / "src" / "repro" / "hmc"
 #: Function names whose body may import (lazy-import idioms).
 ALLOWED_FUNCTIONS = frozenset({"__getattr__"})
 
+#: Per-file exemptions: (file name, function name) pairs whose body may
+#: import.  The composition root's optional-dependency factories import
+#: lazily by design — the import runs once per constructed component,
+#: never on the cycle path, and converting the ImportError into a
+#: ComponentError is the whole point.
+ALLOWED_LAZY_FACTORIES = frozenset({("composition.py", "_vector_xbar")})
+
 
 def violations_in(path: Path) -> Iterator[Tuple[int, str]]:
     """Yield ``(lineno, enclosing function)`` for each bad import."""
     tree = ast.parse(path.read_text(), filename=str(path))
+    allowed = ALLOWED_FUNCTIONS | {
+        func for name, func in ALLOWED_LAZY_FACTORIES if name == path.name
+    }
 
     def visit(node: ast.AST, func: str) -> Iterator[Tuple[int, str]]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if child.name not in ALLOWED_FUNCTIONS:
+                if child.name not in allowed:
                     yield from visit(child, child.name)
             elif isinstance(child, (ast.Import, ast.ImportFrom)):
                 if func:
@@ -132,9 +149,11 @@ def run_seam_check(core_paths=CORE_MODULES) -> List[str]:
 
 
 #: The oracle package, and the engine internals it must never import.
+#: ``vector`` is the batch engine — exactly the kind of datapath the
+#: oracle exists to check, so it is as banned as the scalar internals.
 ORACLE_DIR = REPO / "src" / "repro" / "oracle"
 ORACLE_BANNED_MODULES = frozenset(
-    f"repro.hmc.{mod}" for mod in ("device", "vault", "xbar", "link")
+    f"repro.hmc.{mod}" for mod in ("device", "vault", "xbar", "link", "vector")
 )
 
 
@@ -181,8 +200,74 @@ def run_oracle_purity(
     return out
 
 
+#: The vector engine package, and the only modules allowed to name it.
+#: Everything else selects it through the registry key (``xbar`` =
+#: ``"vector"``), so the engine stays swappable — and removable —
+#: without touching any consumer.
+VECTOR_PACKAGE = "repro.hmc.vector"
+SRC_ROOT = REPO / "src" / "repro"
+VECTOR_ALLOWED = (
+    SRC_ROOT / "hmc" / "composition.py",
+    SRC_ROOT / "hmc" / "vector",
+)
+
+
+def run_vector_containment(
+    root: Path = SRC_ROOT, allowed: tuple = VECTOR_ALLOWED
+) -> List[str]:
+    """Diagnostics for modules naming ``repro.hmc.vector`` directly.
+
+    Only the composition root (whose registry factory is the one
+    sanctioned construction path) and the vector package itself may
+    import it; everyone else goes through the component registry.
+    """
+    out: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if any(
+            path == a or (a.is_dir() and path.is_relative_to(a))
+            for a in allowed
+        ):
+            continue
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            hits: List[str] = []
+            if isinstance(node, ast.Import):
+                hits = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name == VECTOR_PACKAGE
+                    or alias.name.startswith(VECTOR_PACKAGE + ".")
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == VECTOR_PACKAGE or module.startswith(
+                    VECTOR_PACKAGE + "."
+                ):
+                    hits = [module]
+                elif module == "repro.hmc":
+                    hits = [
+                        f"repro.hmc.{alias.name}"
+                        for alias in node.names
+                        if alias.name == "vector"
+                    ]
+            for hit in hits:
+                out.append(
+                    f"{shown}:{node.lineno}: module imports {hit!r} — "
+                    f"only repro.hmc.composition (the registry factory) "
+                    f"may name the vector engine; select it with "
+                    f"xbar='vector' instead"
+                )
+    return out
+
+
 def main() -> int:
-    diags = run() + run_seam_check() + run_oracle_purity()
+    diags = (
+        run()
+        + run_seam_check()
+        + run_oracle_purity()
+        + run_vector_containment()
+    )
     for diag in diags:
         print(diag)
     if diags:

@@ -34,7 +34,7 @@ from repro.analysis import tables as _tables
 from repro.analysis.export import sweep_to_csv, write_csv
 from repro.analysis.plot import plot_sweeps
 from repro.analysis.sweep import run_mutex_sweep
-from repro.errors import FaultError
+from repro.errors import ComponentError, FaultError
 from repro.faults.plan import DEFAULT_FAULT_SEED, FaultPlan, FaultSpec
 from repro.faults.registry import FAULTS
 from repro.hmc.commands import CMC_CODES, DEFINED_CODES
@@ -139,6 +139,28 @@ def _add_component_arg(p: argparse.ArgumentParser) -> None:
         metavar="SEAM=IMPL", dest="components",
         help="swap a pipeline stage, e.g. xbar=ideal (repeatable)",
     )
+    p.add_argument(
+        "--engine", choices=["scalar", "vector"], default=None,
+        help="datapath engine: 'vector' is shorthand for "
+        "--component xbar=vector (numpy flight-table batch engine, "
+        "requires the [vector] extra); 'scalar' is the default object "
+        "datapath",
+    )
+
+
+def _merge_engine(args) -> None:
+    """Fold ``--engine vector`` into the ``--component`` override list.
+
+    An explicit ``--component xbar=...`` wins over the convenience
+    flag, so ``--engine vector --component xbar=ideal`` is an ideal
+    crossbar, not a conflict.
+    """
+    if getattr(args, "engine", None) != "vector":
+        return
+    components = list(args.components or [])
+    if not any(seam == "xbar" for seam, _key in components):
+        components.append(("xbar", "vector"))
+    args.components = components
 
 
 def _add_jobs_args(p: argparse.ArgumentParser) -> None:
@@ -264,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write failing traces (shrunk, with --shrink) as JSON "
         "fixtures under DIR",
     )
+    _add_component_arg(p_fuzz)
 
     p_verify = sub.add_parser(
         "verify", help="verify the paper's published numbers"
@@ -511,7 +534,11 @@ def _cmd_fuzz(args, out) -> int:
         trace = generate_trace(
             seed, profile=profile, count=args.count, config_name=args.config
         )
-        result = run_trace(trace)
+        overrides = (
+            {SEAM_FIELDS[seam]: key for seam, key in args.components}
+            if args.components else None
+        )
+        result = run_trace(trace, config_overrides=overrides)
         out.write(result.summary() + "\n")
         if result.ok:
             continue
@@ -544,6 +571,18 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    _merge_engine(args)
+    try:
+        return _dispatch(args, out)
+    except ComponentError as exc:
+        # Optional-dependency degradation: a component whose factory
+        # cannot run (e.g. xbar='vector' without numpy) fails with one
+        # clear line, not a traceback.
+        sys.stderr.write(f"hmcsim-repro: error: {exc}\n")
+        return 2
+
+
+def _dispatch(args, out) -> int:
     if args.command == "table":
         return _cmd_table(args, out)
     if args.command == "sweep":

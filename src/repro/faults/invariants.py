@@ -130,15 +130,26 @@ class InvariantChecker:
         sim = self.sim
         present: Set[Tuple[int, int]] = set()
         for device in sim.devices:
+            # A crossbar may store bare row handles in its request
+            # queues instead of Flight objects (the vector engine's
+            # flight table); such a model exposes a ``resolve_tag``
+            # capability mapping a handle to its (cub, tag).
+            resolve = getattr(device.xbar, "resolve_tag", None)
             for q in device.xbar.rqst_queues:
                 for flight in q._q:
-                    present.add((flight.pkt.cub, flight.pkt.tag))
+                    if resolve is not None and isinstance(flight, int):
+                        present.add(resolve(flight))
+                    else:
+                        present.add((flight.pkt.cub, flight.pkt.tag))
             for q in device.xbar.rsp_queues:
                 for rsp in q._q:
                     present.add((rsp.cub, rsp.tag))
             for vault in device.vaults:
                 for flight in vault.rqst_queue._q:
-                    present.add((flight.pkt.cub, flight.pkt.tag))
+                    if resolve is not None and isinstance(flight, int):
+                        present.add(resolve(flight))
+                    else:
+                        present.add((flight.pkt.cub, flight.pkt.tag))
                 if vault._pending_rsp is not None:
                     _flight, rsp = vault._pending_rsp
                     present.add((rsp.cub, rsp.tag))

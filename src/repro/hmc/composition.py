@@ -27,7 +27,7 @@ import repro.hmc.memory  # noqa: F401  (memory: paged, chunked)
 import repro.hmc.topology  # noqa: F401  (topology: chain, ring)
 import repro.hmc.vault  # noqa: F401  (vault_scheduler: fifo, round_robin)
 import repro.hmc.xbar  # noqa: F401  (xbar: queued, ideal)
-from repro.errors import HMCConfigError
+from repro.errors import ComponentError, HMCConfigError
 from repro.hmc.components import COMPONENTS, register_component
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +69,28 @@ def _no_flow(config: "HMCConfig") -> None:
     at all, so sends are never token-limited and no retry state exists —
     the paper's "No Simulation Perturbation" default."""
     return None
+
+
+@register_component("xbar", "vector")
+def _vector_xbar(config: "HMCConfig", dev: int):
+    """The numpy flight-table engine (seam key ``vector``).
+
+    A lazy factory rather than a self-registering class, for two
+    reasons: numpy is an *optional* dependency (the ``[vector]``
+    extra), so the default composition must import clean without it —
+    the ``ImportError`` surfaces here as a one-line
+    :class:`ComponentError` only when the key is actually selected —
+    and :mod:`repro.hmc.vector` may be named nowhere but this module
+    (the vector-containment lint pins that).
+    """
+    try:
+        from repro.hmc.vector.engine import VectorXBar
+    except ImportError:
+        raise ComponentError(
+            "xbar='vector' requires numpy, which is not installed — "
+            "install the optional extra: pip install 'repro[vector]'"
+        ) from None
+    return VectorXBar(config, dev)
 
 
 def validate_selection(seam: str, key: str) -> None:

@@ -99,6 +99,12 @@ class Device:
         self._quads_of_links = tuple(
             config.quad_of_link(l) for l in range(config.num_links)
         )
+        # Capability hooks a crossbar model may provide (the vector
+        # engine does): resolved once with getattr, None for the
+        # standard models, so this module still names no concrete
+        # seam implementation.
+        self._send_hook = getattr(self.xbar, "fast_send", None)
+        self._cycle_hook = getattr(self.xbar, "device_cycle", None)
         # Counters.
         self.cmc_rejects = 0
         self.cmc_failures = 0
@@ -160,6 +166,19 @@ class Device:
         """Inject a request on ``link``; False = HMC_STALL (queue full)."""
         if not 0 <= link < self.config.num_links:
             raise ValueError(f"device {self.dev} has no link {link}")
+        hook = self._send_hook
+        if hook is not None:
+            handled = hook(self, pkt, link, cycle)
+            if handled is not None:
+                # The crossbar took (or stalled) the request itself;
+                # only the link ingress counters remain to update.
+                # Vector mode implies tracing is off, so the stall
+                # trace of the scalar path has no equivalent here.
+                if handled:
+                    lk = self.links[link]
+                    lk.rqsts_in += 1
+                    lk.flits_in += 1 + len(pkt.data) // 16
+                return handled
         pkt.slid = link
         lng = 1 + len(pkt.data) // 16  # pkt.lng, without the property calls
         # Routing is computed exactly once here and carried on the
@@ -281,6 +300,9 @@ class Device:
     def clock(self, cycle: int) -> None:
         """Advance this device one cycle (three phases, fixed order)."""
         if not self.busy():
+            return
+        hook = self._cycle_hook
+        if hook is not None and hook(self, cycle):
             return
         self._phase_retire(cycle)
         self._phase_vault_execute(cycle)

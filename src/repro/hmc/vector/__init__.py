@@ -1,0 +1,35 @@
+"""Numpy-backed batch datapath (the ``vector`` engine).
+
+This package is an *optional* alternate implementation behind the
+``xbar`` component seam: in-flight requests live as rows of a
+structured-array flight table (:mod:`repro.hmc.vector.flight_table`)
+instead of per-packet :class:`~repro.hmc.xbar.Flight` objects, and
+:class:`~repro.hmc.vector.engine.VectorXBar` advances all three device
+phases itself through capability hooks the core :class:`Device` looks
+up with ``getattr``.
+
+Nothing outside :mod:`repro.hmc.composition` (the registry's lazy
+factory) may import this package — enforced by the vector-containment
+lint in ``scripts/lint_no_function_imports.py``.  It requires numpy
+(the ``[vector]`` optional extra); the factory converts the
+``ImportError`` into a one-line :class:`~repro.errors.ComponentError`
+so the default composition stays import-clean without it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VectorXBar", "FlightTable"]
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy re-exports: importing the package must not pull in
+    # numpy until a vector component is actually constructed.
+    if name == "VectorXBar":
+        from repro.hmc.vector.engine import VectorXBar
+
+        return VectorXBar
+    if name == "FlightTable":
+        from repro.hmc.vector.flight_table import FlightTable
+
+        return FlightTable
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,420 @@
+"""The vector engine: a flight-table crossbar behind the ``xbar`` seam.
+
+:class:`VectorXBar` subclasses the bounded-queue :class:`XBar` so every
+inherited code path (queue depths, counters, stall accounting, the
+scalar drain) stays available, and adds two *capability hooks* the core
+:class:`~repro.hmc.device.Device` discovers with ``getattr``:
+
+``fast_send(device, pkt, link, cycle)``
+    Called by ``Device.send`` before the scalar path builds a
+    :class:`Flight`.  Returns ``None`` to decline (scalar path runs),
+    else the accept/stall bool.  On accept the request becomes a row
+    in the :class:`~repro.hmc.vector.flight_table.FlightTable` and the
+    row *index* is what sits in the real per-link ``StallQueue`` — all
+    push/pop/stall/high-water counters stay live, so ``stats()`` and
+    the invariant checker see exactly the scalar engine's numbers.
+
+``device_cycle(device, cycle)``
+    Called by ``Device.clock``.  Returns True when it advanced all
+    three phases (retire, vault execute, crossbar drain) over table
+    rows; False hands the cycle to the scalar phases.
+
+Bit-identity over raw speed: each phase replicates the scalar engine's
+visit order, budgets, and counter updates exactly — the engine-parity
+goldens, the serial-vs-vector sweep digest, and the differential-oracle
+fuzz burn-down all pin this.  Requests *execute* through the one true
+``process_rqst`` via a reusable scratch :class:`Flight` whose fields
+are loaded from the row, so CMC plugin execution, AMO semantics, and
+error-response construction are shared with the scalar engine by
+construction, not by copy.
+
+Mode machine
+------------
+A fresh ``VectorXBar`` is *undecided*.  The first ``Device.send``
+decides:
+
+* vector — single cube, no timing/power/flow model, FIFO vault
+  scheduler, zero hop cycles, no faults, tracing off;
+* scalar — anything else, including a raw queue-API call
+  (``inject``/``pop_request``/…) from a driver that manipulates
+  flights directly.
+
+Vector mode re-checks the *mutable* conditions (faults attached,
+tracing enabled, a timing/power/flow model set post-construction)
+every send and every cycle; when one flips, the table **spills** —
+every row is rebuilt as a real :class:`Flight` in queue order via
+``Device.route_flight`` — and the engine stays scalar from then on.
+The handoff is exact: the scalar phases run the very same cycle over
+the spilled objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.hmc.commands import COMMAND_TABLE_LIST, CommandKind
+from repro.hmc.vault import process_rqst
+from repro.hmc.vector.flight_table import (
+    F_BANK,
+    F_INJECT,
+    F_QUAD,
+    F_ROW,
+    F_SRC_LINK,
+    F_VAULT,
+    FlightTable,
+)
+from repro.hmc.xbar import Flight, XBar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hmc.config import HMCConfig
+    from repro.hmc.device import Device
+    from repro.hmc.packet import RequestPacket, ResponsePacket
+
+__all__ = ["VectorXBar"]
+
+_FLOW = CommandKind.FLOW
+
+_SCALAR, _UNDECIDED, _VECTOR = 0, 1, 2
+_MODE_NAMES = ("scalar", "undecided", "vector")
+
+
+class VectorXBar(XBar):
+    """Flight-table batch crossbar + datapath (seam key ``vector``)."""
+
+    def __init__(self, config: "HMCConfig", dev: int):
+        super().__init__(config, dev)
+        self._mode = _UNDECIDED
+        self._table = FlightTable()
+        self._device: Optional["Device"] = None
+        # One reusable Flight, loaded per row right before execution:
+        # process_rqst (and with it CMC dispatch, AMO, error responses)
+        # runs unmodified, with no per-request allocation.
+        self._scratch = Flight(
+            pkt=None,  # type: ignore[arg-type]
+            src_link=0,
+            inject_cycle=0,
+            vault=0,
+            bank=0,
+            quad=0,
+            origin_dev=dev,
+        )
+
+    # -- mode machine ----------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"undecided"``, ``"vector"``, or ``"scalar"`` (tests/debug)."""
+        return _MODE_NAMES[self._mode]
+
+    def _dynamic_ok(self, device: "Device") -> bool:
+        """The per-cycle re-checked half of the vector gate."""
+        sim = device.sim
+        return (
+            sim.faults is None
+            and not sim.tracer.mask
+            and sim.timing is None
+            and sim.power is None
+            and sim.flow is None
+        )
+
+    def _static_ok(self, device: "Device") -> bool:
+        """The decide-once half of the vector gate."""
+        config = device.config
+        return (
+            device.sim.config.num_devs == 1
+            and config.vault_scheduler == "fifo"
+            and config.nonlocal_hop_cycles == 0
+        )
+
+    def _go_scalar(self, device: Optional["Device"]) -> None:
+        if self._mode == _VECTOR and device is not None:
+            self._spill(device)
+        else:
+            self._mode = _SCALAR
+
+    def _spill(self, device: "Device") -> None:
+        """Rebuild every table row as a Flight, in place, in order.
+
+        The one-way vector→scalar handoff: queue entries (row indices)
+        become :class:`Flight` objects with routing recomputed by
+        ``Device.route_flight``, counters untouched — the scalar
+        phases take over the same cycle with identical state.
+        """
+        table = self._table
+        pkts = table.pkts
+        item = table.item
+        dev = device.dev
+
+        def materialize(idx: int) -> Flight:
+            row = item(idx)
+            return device.route_flight(
+                pkts[idx], row[F_SRC_LINK], row[F_INJECT], origin_dev=dev
+            )
+
+        for q in self.rqst_queues:
+            dq = q._q
+            if dq:
+                flights = [materialize(i) for i in dq]
+                dq.clear()
+                dq.extend(flights)
+        for vault in device.vaults:
+            dq = vault.rqst_queue._q
+            if dq:
+                flights = [materialize(i) for i in dq]
+                dq.clear()
+                dq.extend(flights)
+        table.clear()
+        self._mode = _SCALAR
+
+    # -- capability hooks (discovered by Device with getattr) ------------------
+
+    def fast_send(
+        self, device: "Device", pkt: "RequestPacket", link: int, cycle: int
+    ) -> Optional[bool]:
+        """Vector-mode inject; None declines to the scalar send path."""
+        mode = self._mode
+        if mode == _SCALAR:
+            return None
+        if not self._dynamic_ok(device):
+            self._go_scalar(device)
+            return None
+        if mode == _UNDECIDED:
+            if not self._static_ok(device):
+                self._mode = _SCALAR
+                return None
+            self._mode = _VECTOR
+            self._device = device
+        pkt.slid = link
+        q = self.rqst_queues[link]
+        n = len(q._q) + 1
+        if n > q.depth:
+            q.stalls += 1
+            return False
+        local = pkt.addr & device._cap_mask
+        vault = (local >> device._vault_lo) & device._vault_mask
+        idx = self._table.alloc(
+            pkt,
+            vault,
+            (local >> device._bank_lo) & device._bank_mask,
+            device._quads_of_vaults[vault],
+            (local >> device._row_lo) & device._row_mask,
+            1 + len(pkt.data) // 16,
+            link,
+            cycle,
+            -1 if COMMAND_TABLE_LIST[pkt.cmd].kind is _FLOW else vault,
+        )
+        q._q.append(idx)
+        q.pushes += 1
+        if n > q.high_water:
+            q.high_water = n
+        self.rqst_occ += 1
+        return True
+
+    def device_cycle(self, device: "Device", cycle: int) -> bool:
+        """Run all three device phases over table rows; False = scalar."""
+        if self._mode != _VECTOR:
+            return False
+        if not self._dynamic_ok(device):
+            self._spill(device)
+            return False
+        self._retire_phase(device, cycle)
+        self._vault_phase(device, cycle)
+        self._drain_phase(device, cycle)
+        return True
+
+    # -- the three phases, in scalar visit order -------------------------------
+
+    def _retire_phase(self, device: "Device", cycle: int) -> None:
+        # Scalar twin: Device._phase_retire.  Gate guarantees a single
+        # cube (no topology return trips), no response faults, and
+        # tracing off, so retirement is the pure rate-limited move.
+        if not self.rsp_occ:
+            return
+        rate = self.config.link_rsp_rate
+        rsp_queues = self.rsp_queues
+        for link in device.links:
+            q = rsp_queues[link.link_id]
+            dq = q._q
+            if not dq:
+                continue
+            n = min(rate, len(dq))
+            for _ in range(n):
+                rsp = dq.popleft()
+                q.pops += 1
+                rsp.retire_cycle = cycle
+                link.retire(rsp)
+            self.rsp_occ -= n
+            device.retired_rsps += n
+
+    def _vault_phase(self, device: "Device", cycle: int) -> None:
+        # Scalar twin: Device._phase_vault_execute driving
+        # FIFOVaultScheduler.scan (the static gate pins the fifo
+        # policy), with the baseline no-timing _occupy inlined.
+        active = device._active_vaults
+        if not active:
+            return
+        vaults = device.vaults
+        rate = device.config.vault_rsp_rate
+        table = self._table
+        pkts = table.pkts
+        item = table.item
+        scratch = self._scratch
+        rsp_queues = self.rsp_queues
+        for index in sorted(active):
+            vault = vaults[index]
+            if not vault.flush_pending(device, cycle):
+                continue
+            queue = vault.rqst_queue
+            dq = queue._q
+            n0 = len(dq)
+            budget = rate
+            visited = 0
+            kept = 0
+            while visited < n0:
+                if budget <= 0:
+                    # Response port exhausted; the rest wait in place.
+                    if kept:
+                        dq.rotate(kept)
+                    break
+                idx = dq[0]
+                row = item(idx)
+                bank = vault.banks[row[F_BANK]]
+                if cycle < bank.busy_until:
+                    # Only reachable via restored bank state: the
+                    # baseline occupancy below never leaves a bank
+                    # busy past its own cycle.
+                    bank.conflicts += 1
+                    vault.bank_conflicts += 1
+                    dq.rotate(-1)
+                    kept += 1
+                    visited += 1
+                    continue
+                # _occupy, baseline model: completes within the cycle.
+                bank.accesses += 1
+                bank.row_hits += 1
+                bank.open_row = -1
+                bank.busy_until = cycle
+
+                pkt = pkts[idx]
+                src = row[F_SRC_LINK]
+                scratch.pkt = pkt
+                scratch.src_link = src
+                scratch.inject_cycle = row[F_INJECT]
+                scratch.vault = row[F_VAULT]
+                scratch.bank = row[F_BANK]
+                scratch.quad = row[F_QUAD]
+                scratch.row = row[F_ROW]
+                scratch.info = COMMAND_TABLE_LIST[pkt.cmd]
+                rsp = process_rqst(device, scratch, cycle)
+
+                if rsp is not None:
+                    rq = rsp_queues[src]
+                    n = len(rq._q) + 1
+                    if n > rq.depth:
+                        # Response path full: park a real Flight so
+                        # Vault.flush_pending retries it unchanged.
+                        rq.stalls += 1
+                        vault.response_stalls += 1
+                        vault._pending_rsp = (
+                            device.route_flight(
+                                pkt, src, row[F_INJECT],
+                                origin_dev=device.dev,
+                            ),
+                            rsp,
+                        )
+                        dq.popleft()
+                        queue.pops += 1
+                        table.free_row(idx)
+                        if kept:
+                            dq.rotate(kept)
+                        break
+                    rq._q.append(rsp)
+                    rq.pushes += 1
+                    if n > rq.high_water:
+                        rq.high_water = n
+                    self.rsp_occ += 1
+                    budget -= 1
+                dq.popleft()
+                queue.pops += 1
+                vault.processed += 1
+                table.free_row(idx)
+                visited += 1
+            if not dq and vault._pending_rsp is None:
+                active.discard(index)
+
+    def _drain_phase(self, device: "Device", cycle: int) -> None:
+        # Scalar twin: Device._phase_xbar_drain with no flow model and
+        # zero hop cycles (both pinned by the gate): each link's queue
+        # drains fully, in ascending link order, blocking only on a
+        # full vault queue.
+        if not self.rqst_occ:
+            return
+        rqst_queues = self.rqst_queues
+        vaults = device.vaults
+        table = self._table
+        route_of = table.route
+        active_vaults = device._active_vaults
+        for link_id in range(self.config.num_links):
+            queue = rqst_queues[link_id]
+            dq = queue._q
+            while dq:
+                idx = dq[0]
+                route = route_of(idx)
+                if route < 0:
+                    # Flow packets are consumed at the link layer.
+                    dq.popleft()
+                    queue.pops += 1
+                    self.rqst_occ -= 1
+                    device.flow_packets += 1
+                    table.free_row(idx)
+                    continue
+                vq = vaults[route].rqst_queue
+                n = len(vq._q) + 1
+                if n > vq.depth:
+                    vq.stalls += 1
+                    break
+                dq.popleft()
+                queue.pops += 1
+                self.rqst_occ -= 1
+                vq._q.append(idx)
+                vq.pushes += 1
+                if n > vq.high_water:
+                    vq.high_water = n
+                table.mark_vault(idx)
+                active_vaults.add(route)
+
+    # -- raw queue API: decide scalar / spill on first touch -------------------
+    # The request-side accessors hand out Flight objects; a driver (or
+    # test) using them while rows are in flight gets the spilled state.
+    # The response side always holds real ResponsePackets, so the
+    # inherited push_response/pop_response need no guard.
+
+    def inject(self, link: int, flight: Flight) -> bool:
+        if self._mode != _SCALAR:
+            self._go_scalar(self._device)
+        return super().inject(link, flight)
+
+    def head_request(self, link: int) -> Optional[Flight]:
+        if self._mode != _SCALAR:
+            self._go_scalar(self._device)
+        return super().head_request(link)
+
+    def pop_request(self, link: int) -> Optional[Flight]:
+        if self._mode != _SCALAR:
+            self._go_scalar(self._device)
+        return super().pop_request(link)
+
+    def unpop_request(self, link: int, flight: Flight) -> None:
+        if self._mode != _SCALAR:
+            self._go_scalar(self._device)
+        super().unpop_request(link, flight)
+
+    # -- capabilities for observers --------------------------------------------
+
+    def resolve_tag(self, entry: int) -> tuple:
+        """``(cub, tag)`` of a queued row index (invariant checker)."""
+        return self._table.cub_tag(entry)
+
+    def inflight_snapshot(self) -> List[dict]:
+        """Live flight-table rows in allocation order (tests/export)."""
+        return self._table.snapshot()

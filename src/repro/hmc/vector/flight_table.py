@@ -1,0 +1,234 @@
+"""Structured-array flight table: in-flight requests as numpy rows.
+
+One row per in-flight request packet.  The columns hold everything the
+datapath needs to route and execute the request — the decoded address
+(vault/bank/quad/row), the command code (an index into
+``COMMAND_TABLE_LIST``), the link and cycle it arrived on, a global
+allocation sequence number (the FIFO tie-breaker), and a phase tag —
+so the per-cycle engine never touches the Python packet object until
+the request actually executes.  The packet itself (and with it the CMC
+payload, data, and wire encoding) lives in the parallel ``pkts``
+sidecar list under the same index.
+
+Hot-path access pattern, chosen after measuring per-element structured
+access costs:
+
+* allocation writes the whole row with **one** tuple assignment,
+* execution reads the whole row back with **one** ``.item()`` call
+  (a plain Python tuple — field indices are the ``F_*`` constants),
+* the crossbar drain reads only the precomputed ``route`` column
+  (``-1`` marks FLOW packets, consumed at the crossbar like the
+  scalar engine does).
+
+Bulk operations — spill ordering, snapshots for tests and the
+invariant checker — use masked column selections and a stable argsort
+on ``seq``, which is where the structured array pays for itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FlightTable",
+    "PHASE_FREE",
+    "PHASE_XBAR",
+    "PHASE_VAULT",
+    "F_TAG",
+    "F_CUB",
+    "F_VAULT",
+    "F_BANK",
+    "F_QUAD",
+    "F_ROW",
+    "F_PHASE",
+    "F_READY",
+    "F_FLITS",
+    "F_CMD",
+    "F_SRC_LINK",
+    "F_SEQ",
+    "F_INJECT",
+    "F_ROUTE",
+]
+
+#: Row lifecycle: free slot -> queued in a crossbar link -> queued in a
+#: vault.  The authoritative position is the queue holding the index;
+#: the phase column exists for snapshots, spill audits, and tests.
+PHASE_FREE, PHASE_XBAR, PHASE_VAULT = 0, 1, 2
+
+ROW_DTYPE = np.dtype(
+    [
+        ("tag", np.int32),
+        ("cub", np.int16),
+        ("vault", np.int16),
+        ("bank", np.int16),
+        ("quad", np.int16),
+        ("row", np.int32),
+        ("phase", np.int8),
+        ("ready_cycle", np.int64),
+        ("flits", np.int16),
+        ("cmd", np.int16),  # index into COMMAND_TABLE_LIST
+        ("src_link", np.int16),
+        ("seq", np.int64),  # global allocation order: the FIFO tie-breaker
+        ("inject_cycle", np.int64),
+        ("route", np.int16),  # target vault, or -1 for FLOW packets
+    ]
+)
+
+# Tuple positions of ``FlightTable.item(idx)``, in ROW_DTYPE order.
+(
+    F_TAG,
+    F_CUB,
+    F_VAULT,
+    F_BANK,
+    F_QUAD,
+    F_ROW,
+    F_PHASE,
+    F_READY,
+    F_FLITS,
+    F_CMD,
+    F_SRC_LINK,
+    F_SEQ,
+    F_INJECT,
+    F_ROUTE,
+) = range(len(ROW_DTYPE.names))
+
+
+class FlightTable:
+    """Fixed-capacity (doubling) pool of flight rows plus packet sidecar."""
+
+    __slots__ = (
+        "rows",
+        "pkts",
+        "active",
+        "_free",
+        "_seq",
+        "_phase_col",
+        "_seq_col",
+        "_route_col",
+        "_tag_col",
+        "_cub_col",
+    )
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("flight table capacity must be >= 1")
+        self.rows = np.zeros(capacity, dtype=ROW_DTYPE)
+        self.pkts: List[Optional[object]] = [None] * capacity
+        #: Number of live (non-free) rows.
+        self.active = 0
+        # LIFO free list: hot reuse keeps the working set of row
+        # indices small and cache-warm.
+        self._free = list(range(capacity - 1, -1, -1))
+        self._seq = 0
+        self._refresh_views()
+
+    def _refresh_views(self) -> None:
+        # Column views survive in-place writes but not reallocation;
+        # refreshed after every grow.
+        self._phase_col = self.rows["phase"]
+        self._seq_col = self.rows["seq"]
+        self._route_col = self.rows["route"]
+        self._tag_col = self.rows["tag"]
+        self._cub_col = self.rows["cub"]
+
+    def _grow(self) -> None:
+        old = len(self.rows)
+        rows = np.zeros(old * 2, dtype=ROW_DTYPE)
+        rows[:old] = self.rows
+        self.rows = rows
+        self.pkts.extend([None] * old)
+        self._free.extend(range(old * 2 - 1, old - 1, -1))
+        self._refresh_views()
+
+    @property
+    def capacity(self) -> int:
+        return len(self.rows)
+
+    def alloc(
+        self,
+        pkt,
+        vault: int,
+        bank: int,
+        quad: int,
+        row: int,
+        flits: int,
+        src_link: int,
+        cycle: int,
+        route: int,
+    ) -> int:
+        """Claim a row for ``pkt`` and return its index."""
+        if not self._free:
+            self._grow()
+        idx = self._free.pop()
+        seq = self._seq
+        self._seq = seq + 1
+        # One structured assignment for the whole row.
+        self.rows[idx] = (
+            pkt.tag,
+            pkt.cub,
+            vault,
+            bank,
+            quad,
+            row,
+            PHASE_XBAR,
+            cycle,
+            flits,
+            pkt.cmd,
+            src_link,
+            seq,
+            cycle,
+            route,
+        )
+        self.pkts[idx] = pkt
+        self.active += 1
+        return idx
+
+    def item(self, idx: int) -> Tuple:
+        """The whole row as a plain Python tuple (``F_*`` indices)."""
+        return self.rows[idx].item()
+
+    def route(self, idx: int) -> int:
+        """Target vault of ``idx``, or -1 for a FLOW packet."""
+        return int(self._route_col[idx])
+
+    def cub_tag(self, idx: int) -> Tuple[int, int]:
+        """``(cub, tag)`` of a live row (the invariant checker's view)."""
+        return int(self._cub_col[idx]), int(self._tag_col[idx])
+
+    def mark_vault(self, idx: int) -> None:
+        self._phase_col[idx] = PHASE_VAULT
+
+    def free_row(self, idx: int) -> None:
+        """Release a row back to the pool."""
+        self._phase_col[idx] = PHASE_FREE
+        self.pkts[idx] = None
+        self._free.append(idx)
+        self.active -= 1
+
+    def active_indices(self) -> np.ndarray:
+        """Live row indices in allocation (seq) order — stable FIFO."""
+        idx = np.flatnonzero(self._phase_col != PHASE_FREE)
+        if idx.size > 1:
+            idx = idx[np.argsort(self._seq_col[idx], kind="stable")]
+        return idx
+
+    def snapshot(self) -> List[dict]:
+        """Live rows as dicts in seq order (tests, debugging, export)."""
+        names = ROW_DTYPE.names
+        out = []
+        for idx in self.active_indices():
+            values = self.rows[idx].item()
+            doc = dict(zip(names, (int(v) for v in values)))
+            doc["index"] = int(idx)
+            out.append(doc)
+        return out
+
+    def clear(self) -> None:
+        """Release every row (after a spill to the scalar path)."""
+        self.rows["phase"] = PHASE_FREE
+        cap = len(self.rows)
+        self.pkts = [None] * cap
+        self._free = list(range(cap - 1, -1, -1))
+        self.active = 0

@@ -65,20 +65,45 @@ class ThreadCtx:
         self.tid_value = tid + 1
         self.link = link
         self.cub = cub
+        # Mutex packets are immutable per (op, addr) for a given
+        # thread — same tag, tid payload, cub, and link — and a thread
+        # never has two requests in flight, so the spin loop of
+        # Algorithm 1 can reissue one cached packet instead of
+        # rebuilding it every trylock.  (The device only ever writes
+        # ``slid``, which is the same link each reissue.)
+        self._mutex_cache: dict = {}
 
     # -- mutex CMC operations (Table V) --------------------------------------
 
     def lock(self, addr: int) -> RequestPacket:
         """Build an ``hmc_lock`` (CMC125) request."""
-        return _mutex.build_lock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+        key = ("lock", addr)
+        pkt = self._mutex_cache.get(key)
+        if pkt is None:
+            pkt = self._mutex_cache[key] = _mutex.build_lock(
+                self.sim, addr, self.tid, self.tid_value, cub=self.cub
+            )
+        return pkt
 
     def trylock(self, addr: int) -> RequestPacket:
         """Build an ``hmc_trylock`` (CMC126) request."""
-        return _mutex.build_trylock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+        key = ("trylock", addr)
+        pkt = self._mutex_cache.get(key)
+        if pkt is None:
+            pkt = self._mutex_cache[key] = _mutex.build_trylock(
+                self.sim, addr, self.tid, self.tid_value, cub=self.cub
+            )
+        return pkt
 
     def unlock(self, addr: int) -> RequestPacket:
         """Build an ``hmc_unlock`` (CMC127) request."""
-        return _mutex.build_unlock(self.sim, addr, self.tid, self.tid_value, cub=self.cub)
+        key = ("unlock", addr)
+        pkt = self._mutex_cache.get(key)
+        if pkt is None:
+            pkt = self._mutex_cache[key] = _mutex.build_unlock(
+                self.sim, addr, self.tid, self.tid_value, cub=self.cub
+            )
+        return pkt
 
     # -- generic commands ------------------------------------------------------
 

@@ -29,6 +29,7 @@ live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional
 
 from repro.errors import HMCStatus, SimDeadlockError, TagError
@@ -109,9 +110,19 @@ def run_trace(
     *,
     max_mismatches: int = 64,
     max_cycles: int = 500_000,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> DiffResult:
-    """Execute ``trace`` on both sides and diff the outcomes."""
+    """Execute ``trace`` on both sides and diff the outcomes.
+
+    ``config_overrides`` replaces HMCConfig fields on the *simulator*
+    side only (e.g. ``{"xbar": "vector"}``) — the oracle always models
+    the functional contract, so fuzzing an alternate composition
+    against the unchanged oracle is exactly the engine-equivalence
+    burn-down the vector datapath is pinned by.
+    """
     config = trace.config()
+    if config_overrides:
+        config = dc_replace(config, **config_overrides)
     sim = HMCSim(config)
     oracle = Oracle(config)
     for module in trace.cmc_modules:

@@ -47,9 +47,13 @@ def _mem_digest(sim: HMCSim, addr: int, nbytes: int, *, dev: int = 0) -> str:
     return hashlib.sha256(sim.mem_read(addr, nbytes, dev=dev)).hexdigest()
 
 
-def run_mutex_hotspot() -> Dict[str, object]:
-    """Algorithm 1 on a single shared lock: the paper's hot-spot case."""
-    sim = HMCSim(HMCConfig.cfg_4link_4gb())
+def run_mutex_hotspot(**overrides) -> Dict[str, object]:
+    """Algorithm 1 on a single shared lock: the paper's hot-spot case.
+
+    ``overrides`` are HMCConfig field overrides (e.g. ``xbar="vector"``)
+    so alternate compositions can be pinned against the same goldens.
+    """
+    sim = HMCSim(HMCConfig.cfg_4link_4gb(**overrides))
     load_mutex_ops(sim)
     lock_addr = 0x0
     init_lock(sim, lock_addr)
@@ -71,9 +75,9 @@ def run_mutex_hotspot() -> Dict[str, object]:
     )
 
 
-def run_gups_random() -> Dict[str, object]:
+def run_gups_random(**overrides) -> Dict[str, object]:
     """RandomAccess scatter (atomic XOR16 offload) across all vaults."""
-    sim = HMCSim(HMCConfig.cfg_8link_8gb())
+    sim = HMCSim(HMCConfig.cfg_8link_8gb(**overrides))
     table_base = 1 << 20
     table_entries = 512
     num_threads, updates_per_thread = 8, 12
@@ -102,14 +106,17 @@ def run_gups_random() -> Dict[str, object]:
     )
 
 
-def run_chained_two_cube() -> Dict[str, object]:
+def run_chained_two_cube(**overrides) -> Dict[str, object]:
     """CUB-routed traffic over a two-cube chain, injected on cube 0.
 
     Exercises request forwarding, response return trips, and the
     per-cube address spaces: a write/read burst alternating cubes kept
-    in flight together, then a CMC lock on the far cube.
+    in flight together, then a CMC lock on the far cube.  Under the
+    vector composition this workload pins the scalar fallback: a
+    multi-cube config fails the vector gate, so the engine must decide
+    scalar and reproduce the goldens through the inherited path.
     """
-    sim = HMCSim(HMCConfig(num_devs=2, capacity=2))
+    sim = HMCSim(HMCConfig(num_devs=2, capacity=2, **overrides))
     load_mutex_ops(sim)
 
     latencies: List[int] = []

@@ -122,9 +122,17 @@ class TestRegistry:
 @pytest.mark.parametrize("key", COMPONENTS.keys("xbar"))
 class TestCrossbarContract:
     def _make(self, key, depth=4):
-        return COMPONENTS.create(
-            "xbar", key, HMCConfig.cfg_4link_4gb(xbar_depth=depth), 0
-        )
+        try:
+            return COMPONENTS.create(
+                "xbar", key, HMCConfig.cfg_4link_4gb(xbar_depth=depth), 0
+            )
+        except ComponentError as exc:
+            if "numpy" in str(exc):
+                # xbar='vector' without the optional [vector] extra:
+                # the key is registered (degradation is part of its
+                # contract) but the engine cannot be built here.
+                pytest.skip(str(exc))
+            raise
 
     def test_implements_interface(self, key):
         assert isinstance(self._make(key), _IFACE["xbar"])
@@ -171,7 +179,12 @@ class TestCrossbarContract:
         assert xb.total_stalls() == 0
 
     def test_roundtrip_through_simulator(self, key):
-        sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar=key))
+        try:
+            sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar=key))
+        except ComponentError as exc:
+            if "numpy" in str(exc):
+                pytest.skip(str(exc))
+            raise
         sim.mem_write(0x100, bytes(range(16)))
         rsp = roundtrip(sim, sim.build_memrequest(hmc_rqst_t.RD16, 0x100, 1))
         assert rsp.data == bytes(range(16))

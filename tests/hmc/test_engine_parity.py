@@ -46,6 +46,26 @@ def test_engine_parity(workload: str, golden: dict) -> None:
     )
 
 
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_vector_engine_parity(workload: str, golden: dict) -> None:
+    """The vector composition reproduces the *same* seed goldens.
+
+    Stronger than vector-specific goldens: ``xbar="vector"`` must be
+    bit-identical to the object engine on every signature field —
+    cycle counts, queue counters, high-water marks, memory digests.
+    The two-cube workload rides along deliberately: it fails the
+    vector gate (multi-cube), so it pins the scalar-fallback path
+    against the goldens too.
+    """
+    pytest.importorskip("numpy")
+    got = json.loads(json.dumps(WORKLOADS[workload](xbar="vector")))
+    expected = golden[workload]
+    assert got == expected, (
+        f"{workload}: the vector engine diverged from the seed goldens; "
+        f"see the key-by-key diff above"
+    )
+
+
 def test_golden_covers_all_workloads(golden: dict) -> None:
     assert sorted(golden) == sorted(WORKLOADS)
 

@@ -88,6 +88,36 @@ def test_oracle_purity_flags_planted_violations(tmp_path: Path) -> None:
     assert any("repro.hmc.link" in d for d in diags)
 
 
+def test_vector_engine_is_contained() -> None:
+    lint = _load_lint()
+    diags = lint.run_vector_containment()
+    assert diags == [], "\n".join(diags)
+
+
+def test_vector_containment_flags_planted_violations(tmp_path: Path) -> None:
+    """All three import spellings of the vector package are caught."""
+    lint = _load_lint()
+    bad = tmp_path / "consumer.py"
+    bad.write_text(
+        "import repro.hmc.vector\n"
+        "from repro.hmc.vector.engine import VectorXBar\n"
+        "from repro.hmc import vector, commands\n"
+        "from repro.hmc.xbar import XBar  # not the vector package: allowed\n"
+    )
+    diags = lint.run_vector_containment(tmp_path)
+    assert len(diags) == 3, "\n".join(diags)
+    assert all("repro.hmc.vector" in d for d in diags)
+
+
+def test_vector_containment_exempts_composition(tmp_path: Path) -> None:
+    """The allow-list actually exempts the sanctioned paths."""
+    lint = _load_lint()
+    allowed = tmp_path / "composition.py"
+    allowed.write_text("from repro.hmc.vector.engine import VectorXBar\n")
+    diags = lint.run_vector_containment(tmp_path, allowed=(allowed,))
+    assert diags == []
+
+
 def test_lint_script_runs_standalone() -> None:
     import subprocess
 

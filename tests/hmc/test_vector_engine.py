@@ -1,0 +1,326 @@
+"""Unit suite for the numpy flight-table engine (``xbar="vector"``).
+
+Covers the table itself (row lifecycle, growth, seq ordering), the
+mode machine (vector decide, scalar decide, mid-run spill), stable
+per-vault FIFO ordering under ties, the scalar-fallback handoff for
+CMC and fault-injected packets, a serial-vs-vector sweep digest, and
+checkpoint behaviour for in-flight rows.
+
+Everything here goes through the public composition surface
+(``HMCConfig(xbar="vector")``); the flight-table internals are reached
+through the built device's crossbar, never by importing
+``repro.hmc.vector`` (the containment lint bans that for ``src/``,
+and the tests honour it to keep the example honest) — except the
+dedicated FlightTable unit tests, which exercise the data structure
+directly via the built engine's table attribute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.cmc_ops.mutex import (
+    decode_lock_response,
+    init_lock,
+    load_mutex_ops,
+)
+from repro.errors import HMCSimError, HMCStatus
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hmc.checkpoint import restore_checkpoint, save_checkpoint
+from repro.hmc.commands import hmc_rqst_t
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.engine import HostEngine
+from repro.host.kernels.mutex_kernel import mutex_program
+
+
+def _vector_sim(**overrides) -> HMCSim:
+    return HMCSim(HMCConfig.cfg_4link_4gb(xbar="vector", **overrides))
+
+
+def _drain_all(sim: HMCSim, want: int, max_cycles: int = 10_000) -> list:
+    """Clock until ``want`` responses arrive; returns (link, tag) pairs."""
+    got = []
+    for _ in range(max_cycles):
+        sim.clock()
+        for link in range(sim.config.num_links):
+            while (rsp := sim.recv(link=link)) is not None:
+                got.append((link, rsp.tag))
+        if len(got) >= want:
+            return got
+    raise AssertionError(f"only {len(got)}/{want} responses after {max_cycles} cycles")
+
+
+# ---------------------------------------------------------------------------
+# FlightTable row lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestFlightTable:
+    def _table(self):
+        # Reach the table through a built vector engine: the only
+        # sanctioned construction path.
+        sim = _vector_sim()
+        pkt = sim.build_memrequest(hmc_rqst_t.WR16, 0x40, 1, data=bytes(16))
+        sim.send(pkt)
+        xbar = sim.devices[0].xbar
+        assert xbar.mode == "vector"
+        return sim, xbar, xbar._table
+
+    def test_row_lifecycle(self):
+        sim, xbar, table = self._table()
+        assert table.active == 1
+        (row,) = xbar.inflight_snapshot()
+        assert row["tag"] == 1 and row["cmd"] == int(hmc_rqst_t.WR16)
+        assert row["vault"] == row["route"]
+        sim.drain()
+        assert table.active == 0
+        assert xbar.inflight_snapshot() == []
+
+    def test_rows_are_reused_from_a_free_list(self):
+        sim, xbar, table = self._table()
+        sim.drain()
+        cap = table.capacity
+        # One request in flight at a time: the same slot cycles.
+        for tag in range(2, 30):
+            pkt = sim.build_memrequest(hmc_rqst_t.RD16, 0x40, tag)
+            sim.send(pkt)
+            while sim.recv() is None:
+                sim.clock()
+        assert table.capacity == cap  # never grew
+        assert table.active == 0
+
+    def test_table_grows_preserving_rows(self):
+        sim, xbar, table = self._table()
+        cap = table.capacity
+        # Exceed capacity with posted writes held in the xbar queues
+        # (no clock ticks, so nothing retires).
+        tag = 2
+        sent = 1
+        for i in range(cap + 8):
+            pkt = sim.build_memrequest(
+                hmc_rqst_t.P_WR16, 0x1000 + 64 * i, tag, data=bytes(16)
+            )
+            if sim.send(pkt, link=i % 4) is HMCStatus.OK:
+                sent += 1
+        assert table.capacity > cap
+        assert table.active == sent
+        snap = xbar.inflight_snapshot()
+        # seq strictly increasing == allocation order preserved.
+        seqs = [r["seq"] for r in snap]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        sim.drain()
+        assert table.active == 0
+
+
+# ---------------------------------------------------------------------------
+# Mode machine
+# ---------------------------------------------------------------------------
+
+
+class TestModeMachine:
+    def test_vector_decides_on_first_send(self):
+        sim = _vector_sim()
+        assert sim.devices[0].xbar.mode == "undecided"
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x0, 1))
+        assert sim.devices[0].xbar.mode == "vector"
+
+    def test_multi_cube_decides_scalar(self):
+        sim = HMCSim(HMCConfig(num_devs=2, capacity=2, xbar="vector"))
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x0, 1))
+        assert sim.devices[0].xbar.mode == "scalar"
+        while sim.recv() is None:
+            sim.clock()
+
+    def test_round_robin_scheduler_decides_scalar(self):
+        sim = _vector_sim(vault_scheduler="round_robin")
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x0, 1))
+        assert sim.devices[0].xbar.mode == "scalar"
+        while sim.recv() is None:
+            sim.clock()
+
+    def test_queue_api_touch_spills_to_flights(self):
+        sim = _vector_sim()
+        for tag in range(4):
+            sim.send(
+                sim.build_memrequest(
+                    hmc_rqst_t.WR16, 0x40 * tag, tag, data=bytes([tag]) * 16
+                ),
+                link=tag,
+            )
+        xbar = sim.devices[0].xbar
+        assert xbar.mode == "vector"
+        head = xbar.head_request(2)  # raw queue API: one-way spill
+        assert xbar.mode == "scalar"
+        assert head.pkt.tag == 2 and isinstance(head.vault, int)
+        # Spilled flights carry recomputed routing and drain normally.
+        got = _drain_all(sim, 4)
+        assert sorted(t for _l, t in got) == [0, 1, 2, 3]
+        for tag in range(4):
+            assert sim.mem_read(0x40 * tag, 16) == bytes([tag]) * 16
+
+    def test_attach_faults_mid_run_spills_and_completes(self):
+        sim = _vector_sim()
+        for tag in range(8):
+            sim.send(
+                sim.build_memrequest(
+                    hmc_rqst_t.WR16, 0x80 * tag, tag, data=bytes([0xA0 + tag]) * 16
+                ),
+                link=tag % 4,
+            )
+        xbar = sim.devices[0].xbar
+        assert xbar.mode == "vector"
+        sim.clock()  # some rows advance into vault queues
+        plan = FaultPlan(specs=(FaultSpec.parse("vault_stall=0.0"),), seed=7)
+        sim.attach_faults(plan)
+        sim.clock()  # the mutable gate flips: spill, scalar phases run
+        assert xbar.mode == "scalar"
+        got = _drain_all(sim, 8)
+        assert sorted(t for _l, t in got) == list(range(8))
+        for tag in range(8):
+            assert sim.mem_read(0x80 * tag, 16) == bytes([0xA0 + tag]) * 16
+        stats = sim.stats()
+        assert stats["outstanding"] == 0
+        assert "faults" in stats
+
+
+# ---------------------------------------------------------------------------
+# Ordering and execution equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    def _tie_run(self, xbar_key: str) -> tuple:
+        """Same-cycle injections from every link into one vault."""
+        sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar=xbar_key))
+        tag = 0
+        # Same target vault (same address block) from all four links,
+        # interleaved over several bursts — per-vault FIFO must order
+        # ties by link index, cycle after cycle.
+        for _burst in range(6):
+            for link in range(4):
+                pkt = sim.build_memrequest(hmc_rqst_t.INC8, 0x8, tag)
+                assert sim.send(pkt, link=link) is HMCStatus.OK
+                tag += 1
+        got = _drain_all(sim, tag)
+        return got, sim.mem_read(0x0, 16), json.dumps(sim.stats(), sort_keys=True)
+
+    def test_stable_per_vault_fifo_under_ties(self):
+        scalar = self._tie_run("queued")
+        vector = self._tie_run("vector")
+        assert scalar == vector  # response order, memory, and stats
+
+    def test_cmc_lock_handoff_matches_scalar(self):
+        results = {}
+        for key in ("queued", "vector"):
+            sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar=key))
+            load_mutex_ops(sim)
+            init_lock(sim, 0x0)
+            engine = HostEngine(sim, max_cycles=100_000)
+            engine.add_threads(8, lambda ctx: mutex_program(ctx, 0x0))
+            res = engine.run()
+            stats = sim.stats()
+            results[key] = (
+                res.total_cycles,
+                [t.cycles for t in res.threads],
+                stats["cmc_ops"],
+                hashlib.sha256(sim.mem_read(0x0, 16)).hexdigest(),
+            )
+        assert results["queued"] == results["vector"]
+        # The CMC plugin really executed (scalar-fallback handoff for
+        # CMC packets goes through the same registry path).
+        assert sum(results["vector"][2].values()) > 0
+
+    def test_sweep_digest_serial_vs_vector(self):
+        """A mutex thread sweep digests identically on both engines."""
+
+        def sweep(key: str) -> str:
+            h = hashlib.sha256()
+            for threads in (4, 12, 24):
+                sim = HMCSim(HMCConfig.cfg_4link_4gb(xbar=key))
+                load_mutex_ops(sim)
+                init_lock(sim, 0x0)
+                engine = HostEngine(sim, max_cycles=200_000)
+                engine.add_threads(threads, lambda ctx: mutex_program(ctx, 0x0))
+                res = engine.run()
+                h.update(
+                    json.dumps(
+                        {
+                            "threads": threads,
+                            "total": res.total_cycles,
+                            "per_thread": [t.cycles for t in res.threads],
+                            "stats": sim.stats(),
+                        },
+                        sort_keys=True,
+                    ).encode()
+                )
+            return h.hexdigest()
+
+        assert sweep("queued") == sweep("vector")
+
+    def test_trylock_response_decodes(self):
+        sim = _vector_sim()
+        load_mutex_ops(sim)
+        init_lock(sim, 0x100)
+        engine = HostEngine(sim, max_cycles=50_000)
+        outcome = {}
+
+        def program(ctx):
+            rsp = yield ctx.lock(0x100)
+            outcome["locked"] = decode_lock_response(rsp.data)
+            yield ctx.unlock(0x100)
+
+        engine.add_thread(program)
+        engine.run()
+        assert outcome["locked"] == 1
+        assert sim.devices[0].xbar.mode == "vector"
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_quiesced_roundtrip_continues_identically(self, tmp_path):
+        path = tmp_path / "vec.ckpt"
+        sim = _vector_sim()
+        for tag in range(6):
+            sim.send(
+                sim.build_memrequest(
+                    hmc_rqst_t.WR16, 0x40 * tag, tag, data=bytes([tag]) * 16
+                )
+            )
+            while sim.recv() is None:
+                sim.clock()
+        sim.drain()
+        save_checkpoint(sim, path)
+
+        restored = _vector_sim()
+        restore_checkpoint(restored, path)
+        assert restored.cycle == sim.cycle
+
+        def continuation(s: HMCSim) -> tuple:
+            s.send(s.build_memrequest(hmc_rqst_t.RD16, 0x40 * 3, 9))
+            while (rsp := s.recv()) is None:
+                s.clock()
+            return rsp.data, s.cycle, json.dumps(s.stats()["cycle"])
+
+        assert continuation(restored) == continuation(sim)
+        assert restored.devices[0].xbar.mode == "vector"
+
+    def test_checkpoint_refuses_in_flight_rows(self, tmp_path):
+        sim = _vector_sim()
+        sim.send(sim.build_memrequest(hmc_rqst_t.RD16, 0x0, 1))
+        assert sim.devices[0].xbar.mode == "vector"
+        with pytest.raises(HMCSimError, match="in flight"):
+            save_checkpoint(sim, tmp_path / "busy.ckpt")
+        # The refused checkpoint must not disturb the in-flight row.
+        while sim.recv() is None:
+            sim.clock()
+        save_checkpoint(sim, tmp_path / "idle.ckpt")
