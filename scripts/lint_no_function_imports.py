@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Structural lints for the simulator core package.
 
-Four checks, all run by ``main`` (and by
+Five checks, all run by ``main`` (and by
 ``tests/hmc/test_lint_clean.py`` in tier-1 CI):
 
 1. **No function-level imports** in ``src/repro/hmc/``.  Imports inside
@@ -37,6 +37,15 @@ Four checks, all run by ``main`` (and by
    (``repro.hmc.vector``) may be named only by the composition root's
    registry factory and by the package itself; every other module
    selects it through the ``xbar`` seam key.
+
+5. **Workload containment** in ``src/repro/``.  Concrete
+   :class:`~repro.workloads.base.WorkloadFrontend` classes may be
+   named only by the workload catalog
+   (``repro.workloads.catalog``, the composition root of the workload
+   seam); every other module resolves workloads by string through
+   ``repro.workloads.registry.WORKLOADS``.  The banned-name list is
+   derived from the live registry, so a newly registered frontend is
+   automatically covered.
 
 Usage:  python scripts/lint_no_function_imports.py
 Exit status 0 when clean, 1 with one ``path:line`` diagnostic per
@@ -261,12 +270,79 @@ def run_vector_containment(
     return out
 
 
+#: The workload catalog — the only module allowed to import concrete
+#: frontend classes.  Each class's own defining module is exempt too
+#: (a definition is not an import, but re-exports within the defining
+#: file stay legal).
+WORKLOAD_CATALOG = SRC_ROOT / "workloads" / "catalog.py"
+
+
+def _registered_workloads() -> dict:
+    """``module -> {class names}`` for every registered frontend."""
+    src = str(REPO / "src")
+    added = src not in sys.path
+    if added:
+        sys.path.insert(0, src)
+    try:
+        from repro.workloads.registry import WORKLOADS
+
+        classes: dict = {}
+        for cls in WORKLOADS.classes().values():
+            module = getattr(cls, "__module__", "")
+            name = getattr(cls, "__qualname__", "").split(".")[0]
+            if module and name:
+                classes.setdefault(module, set()).add(name)
+        return classes
+    finally:
+        if added:
+            sys.path.remove(src)
+
+
+def run_workload_containment(
+    root: Path = SRC_ROOT, allowed: tuple = (WORKLOAD_CATALOG,)
+) -> List[str]:
+    """Diagnostics for modules importing concrete workload classes.
+
+    Mirrors the seam check: the banned names come from the live
+    workload registry, the catalog (and each class's defining module)
+    is exempt, and everything else must resolve workloads by string
+    through ``WORKLOADS``.
+    """
+    classes = _registered_workloads()
+    defining_files = {
+        module: REPO / "src" / Path(*module.split(".")).with_suffix(".py")
+        for module in classes
+    }
+    out: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        if path in allowed:
+            continue
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.module not in classes:
+                continue
+            if path == defining_files.get(node.module):
+                continue
+            for alias in node.names:
+                if alias.name in classes[node.module]:
+                    out.append(
+                        f"{shown}:{node.lineno}: module imports concrete "
+                        f"workload class {alias.name!r} from "
+                        f"{node.module} — only the workload catalog may "
+                        f"name frontend classes; resolve it with "
+                        f"WORKLOADS.get(name) instead"
+                    )
+    return out
+
+
 def main() -> int:
     diags = (
         run()
         + run_seam_check()
         + run_oracle_purity()
         + run_vector_containment()
+        + run_workload_containment()
     )
     for diag in diags:
         print(diag)

@@ -11,8 +11,13 @@ two levels:
   collection;
 * the **persistent on-disk cache** of :mod:`repro.parallel.cache`,
   keyed per point by (config fingerprint, component fingerprint,
-  kernel version tag, thread count) — precise enough that component
+  workload fingerprint, thread count) — precise enough that component
   overrides can never alias, and shared across processes and sessions.
+
+Sweep points are built through the workload registry
+(``WORKLOADS.get("mutex").task_spec(...)``), not by importing the
+kernel module directly, so the sweep follows whatever implementation
+the registry resolves for ``"mutex"``.
 
 ``jobs=N`` fans the sweep's independent points across a worker pool
 (:class:`repro.parallel.pool.SweepExecutor`); results are reassembled
@@ -27,11 +32,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.hmc.config import HMCConfig
-from repro.host.kernels.mutex_kernel import MutexRunStats, mutex_task_spec
+from repro.host.kernels.mutex_kernel import MutexRunStats
 from repro.parallel.cache import SweepCache
 from repro.parallel.pool import SweepExecutor
 from repro.parallel.progress import ProgressFn
 from repro.parallel.tasks import cache_key
+from repro.workloads.registry import WORKLOADS
 
 __all__ = ["MutexSweep", "run_mutex_sweep", "PAPER_THREAD_RANGE", "paper_configs"]
 
@@ -86,8 +92,8 @@ class MutexSweep:
 
 
 # In-process identity memo: a repeated request for the same sweep (same
-# per-point cache keys, i.e. same config, components, kernel version,
-# and axis) returns the same MutexSweep object.  Bounded, unlike the
+# per-point cache keys, i.e. same config, components, workload
+# fingerprint, and axis) returns the same MutexSweep object.  Bounded, unlike the
 # retired module-level _CACHE dict it replaces; the durable layer is
 # the per-point disk cache.
 _MEMO: "OrderedDict[Tuple[str, ...], MutexSweep]" = OrderedDict()
@@ -126,7 +132,8 @@ def run_mutex_sweep(
             never share cache entries.
     """
     counts = tuple(thread_counts) if thread_counts is not None else PAPER_THREAD_RANGE
-    specs = [mutex_task_spec(config, n, fault_plan=fault_plan) for n in counts]
+    frontend = WORKLOADS.get("mutex")
+    specs = [frontend.task_spec(config, n, fault_plan=fault_plan) for n in counts]
     memo_key = tuple(cache_key(s) for s in specs)
     if use_cache and memo_key in _MEMO:
         _MEMO.move_to_end(memo_key)

@@ -5,10 +5,16 @@ Installed as ``hmcsim-repro`` (also ``python -m repro``):
 * ``hmcsim-repro table 1|2|5|6`` — regenerate a paper table.
 * ``hmcsim-repro sweep --threads 2:100 --plot --csv out.csv`` — run the
   Figures 5-7 sweep, render ASCII charts, export CSV.
-* ``hmcsim-repro kernel mutex|ticket|stream|gups|bfs|hist`` — run one
-  workload kernel and print its statistics.
+* ``hmcsim-repro kernel mutex|ticket|...`` — run one workload kernel
+  (resolved through the workload registry; ``info`` lists them all).
+* ``hmcsim-repro trace record|replay|convert`` — capture a workload
+  run as a versioned JSONL trace and replay it (see
+  ``docs/WORKLOADS.md``).
+* ``hmcsim-repro graph counter|pipeline`` — run a task-graph workload.
 * ``hmcsim-repro fuzz --seeds 64 --shrink`` — differential-fuzz the
-  datapath against the functional oracle (see ``docs/CORRECTNESS.md``).
+  datapath against the functional oracle (see ``docs/CORRECTNESS.md``);
+  ``--trace run.jsonl`` replays a recorded workload trace through the
+  differential runner instead of generated traffic.
 * ``hmcsim-repro info`` — show the command space and configurations.
 
 Experiment commands accept ``--component seam=impl`` (repeatable) to
@@ -42,6 +48,7 @@ from repro.hmc.components import COMPONENTS
 from repro.hmc.composition import SEAM_FIELDS
 from repro.hmc.config import HMCConfig
 from repro.parallel.progress import make_progress
+from repro.workloads.registry import WORKLOADS
 
 __all__ = ["main", "build_parser"]
 
@@ -186,6 +193,28 @@ def _sweep_kwargs(args) -> dict:
     return kwargs
 
 
+def _cli_kernel_names() -> List[str]:
+    """Registry workloads the ``kernel`` subcommand offers."""
+    return [
+        name
+        for name, cls in sorted(WORKLOADS.classes().items())
+        if cls.kind == "kernel" and getattr(cls, "cli_kernel", False)
+    ]
+
+
+def _recordable_names() -> List[str]:
+    """Registry workloads ``trace record`` can capture."""
+    return [
+        name for name, cls in sorted(WORKLOADS.classes().items())
+        if cls.recordable
+    ]
+
+
+def _graph_scenarios() -> List[str]:
+    """Task-graph scenarios, without their ``graph:`` prefix."""
+    return [name.split(":", 1)[1] for name in WORKLOADS.keys(kind="graph")]
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -218,15 +247,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(p_sweep)
 
     p_kernel = sub.add_parser("kernel", help="run one workload kernel")
-    p_kernel.add_argument(
-        "name", choices=["mutex", "ticket", "stream", "gups", "bfs", "hist"]
-    )
+    p_kernel.add_argument("name", choices=_cli_kernel_names())
     p_kernel.add_argument("--threads", type=int, default=16)
     p_kernel.add_argument(
         "--config", choices=["4link", "8link"], default="4link"
     )
     _add_component_arg(p_kernel)
     _add_fault_args(p_kernel)
+
+    p_trace = sub.add_parser(
+        "trace", help="record or replay a workload trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_record = trace_sub.add_parser(
+        "record",
+        help="run a recordable workload, capturing its request stream",
+    )
+    p_record.add_argument("workload", choices=_recordable_names())
+    p_record.add_argument("--threads", type=int, default=16)
+    p_record.add_argument(
+        "--config", choices=["4link", "8link"], default="4link"
+    )
+    p_record.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="trace file to write (JSONL)",
+    )
+    p_replay = trace_sub.add_parser(
+        "replay",
+        help="replay a trace; closed-loop replay checks the recorded "
+        "per-thread cycle baseline",
+    )
+    p_replay.add_argument("trace_file")
+    p_replay.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed: per-thread semantic re-execution; open: "
+        "rate-driven traffic replay (default closed)",
+    )
+    p_replay.add_argument(
+        "--rate", type=float, default=4.0,
+        help="open-loop offered rate in requests/cycle (default 4.0)",
+    )
+    p_replay.add_argument(
+        "--config", choices=["4link", "8link"], default=None,
+        help="override the trace header's configuration",
+    )
+    _add_component_arg(p_replay)
+    p_convert = trace_sub.add_parser(
+        "convert",
+        help="convert rendered simulator Tracer output into a workload "
+        "trace (lossy: open-loop replay only)",
+    )
+    p_convert.add_argument("trace_file")
+    p_convert.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="workload trace file to write (JSONL)",
+    )
+
+    p_graph = sub.add_parser("graph", help="run a task-graph workload")
+    p_graph.add_argument("scenario", choices=_graph_scenarios())
+    p_graph.add_argument(
+        "--config", choices=["4link", "8link"], default="4link"
+    )
+    p_graph.add_argument(
+        "--schedule", action="store_true",
+        help="print the per-task (start, done) cycle schedule",
+    )
+    _add_component_arg(p_graph)
 
     p_open = sub.add_parser(
         "openloop", help="open-loop latency vs offered load"
@@ -272,7 +358,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--profile", default="all",
         help="traffic profile, or 'all' to rotate mixed/cmc/spec/faulty "
-        "by seed (default all)",
+        "by seed (default all); 'trace' replays a recorded workload "
+        "trace (requires --trace)",
+    )
+    p_fuzz.add_argument(
+        "--trace", metavar="PATH", dest="trace_path", default=None,
+        help="workload trace to replay through the differential runner "
+        "(sets the profile to 'trace')",
     )
     p_fuzz.add_argument(
         "--config", choices=["4link_4gb", "8link_8gb"], default="4link_4gb"
@@ -358,69 +450,15 @@ def _cmd_sweep(args, out) -> int:
 def _cmd_kernel(args, out) -> int:
     cfg = _configs(args.config, args.components)[0]
     plan = _fault_plan(args)
-    if plan is not None and args.name != "mutex":
+    frontend = WORKLOADS.get(args.name)
+    if plan is not None and not frontend.supports_faults:
         raise SystemExit(
             f"hmcsim-repro: error: --fault is only supported by the mutex "
             f"kernel (got kernel {args.name!r})"
         )
-    if args.name == "mutex":
-        from repro.host.kernels.mutex_kernel import run_mutex_workload
-
-        s = run_mutex_workload(cfg, args.threads, fault_plan=plan)
-        line = (
-            f"{s.config_name} mutex x{s.threads}: min={s.min_cycle} "
-            f"max={s.max_cycle} avg={s.avg_cycle:.2f} "
-            f"(cmc executions: {s.cmc_executions})"
-        )
-        if plan is not None:
-            line += (
-                f" [{plan.describe()}: {s.faults_injected} faults, "
-                f"{s.retransmits} retransmits]"
-            )
-        out.write(line + "\n")
-    elif args.name == "ticket":
-        from repro.host.kernels.ticket_kernel import run_ticket_workload
-
-        s = run_ticket_workload(cfg, args.threads)
-        out.write(
-            f"{s.config_name} ticket x{s.threads}: min={s.min_cycle} "
-            f"max={s.max_cycle} avg={s.avg_cycle:.2f} fifo={s.fifo_order}\n"
-        )
-    elif args.name == "stream":
-        from repro.host.kernels.stream import run_stream_triad
-
-        s = run_stream_triad(cfg, num_threads=args.threads)
-        out.write(
-            f"{s.config_name} STREAM Triad x{s.threads}: {s.cycles} cycles, "
-            f"{s.bytes_per_cycle:.1f} B/cycle, err={s.max_abs_error}\n"
-        )
-    elif args.name == "gups":
-        from repro.host.kernels.gups import run_gups
-
-        for atomic in (False, True):
-            s = run_gups(cfg, num_threads=args.threads, use_atomic=atomic)
-            out.write(
-                f"{s.config_name} GUPS ({s.mode}) x{s.threads}: {s.cycles} cycles, "
-                f"{s.updates_per_cycle:.3f} upd/cycle, verified={s.verified}\n"
-            )
-    elif args.name == "bfs":
-        from repro.host.kernels.bfs import run_bfs
-
-        for cas in (False, True):
-            s = run_bfs(cfg, num_threads=args.threads, use_cas=cas)
-            out.write(
-                f"{s.config_name} BFS ({s.mode}): {s.edges} edges, "
-                f"{s.requests} requests, {s.flits} flits, verified={s.verified}\n"
-            )
-    else:  # hist
-        from repro.host.kernels.histogram import run_histogram
-
-        for mode in ("rmw", "atomic", "posted"):
-            s = run_histogram(cfg, mode=mode, num_threads=args.threads)
-            out.write(
-                f"{s.config_name} histogram ({s.mode}): {s.cycles} cycles, "
-                f"{s.flits_per_sample:.1f} flits/sample, exact={s.exact}\n"
-            )
+    for variant in frontend.cli_variants(args.threads):
+        s = frontend.run(cfg, variant, fault_plan=plan)
+        out.write(frontend.format_stats(s, fault_plan=plan) + "\n")
     return 0
 
 
@@ -431,34 +469,116 @@ def _cmd_openloop(args, out) -> int:
     s = run_open_loop(
         cfg, offered_rate=args.rate, duration=args.duration, pattern=args.pattern
     )
+    _write_openloop(s, out)
+    return 0
+
+
+def _cmd_chase(args, out) -> int:
+    cfg = _configs(args.config, args.components)[0]
+    frontend = WORKLOADS.get("chase")
+    s = frontend.run(
+        cfg,
+        {"length": args.length, "scatter": args.scatter, "timing": args.timing},
+    )
+    out.write(frontend.format_stats(s) + "\n")
+    return 0
+
+
+def _write_openloop(s, out) -> None:
     out.write(
         f"{s.config_name} open-loop {s.pattern}: offered {s.offered_rate}/cyc, "
         f"achieved {s.achieved_rate:.2f}/cyc, mean latency "
         f"{s.mean_latency:.1f} cyc, p99 {s.p99_latency} cyc, "
         f"{'SATURATED' if s.saturated else 'below the knee'}\n"
     )
-    return 0
 
 
-def _cmd_chase(args, out) -> int:
-    from repro.hmc.timing import DEFAULT_TIMING
-    from repro.host.kernels.pointer_chase import run_pointer_chase
+def _cmd_trace(args, out) -> int:
+    from repro.workloads.tracefmt import WorkloadTrace, trace_from_tracer
 
-    cfg = _configs(args.config, args.components)[0]
-    s = run_pointer_chase(
-        cfg,
-        length=args.length,
-        scatter=args.scatter,
-        timing=DEFAULT_TIMING if args.timing else None,
-    )
+    if args.trace_command == "record":
+        from repro.workloads.replay import record_workload
+
+        cfg = _configs(args.config)[0]
+        frontend = WORKLOADS.get(args.workload)
+        stats, trace = record_workload(
+            args.workload, cfg, {"threads": args.threads}
+        )
+        path = trace.dump(args.output)
+        out.write(frontend.format_stats(stats) + "\n")
+        out.write(
+            f"recorded {len(trace.requests)} request(s) from "
+            f"{len(trace.threads)} thread(s) to {path} "
+            f"(digest {trace.digest()})\n"
+        )
+        return 0
+
+    if args.trace_command == "convert":
+        from pathlib import Path
+
+        source = Path(args.trace_file)
+        if not source.exists():
+            out.write(f"trace file {source} does not exist\n")
+            return 1
+        trace, skipped = trace_from_tracer(source.read_text())
+        path = trace.dump(args.output)
+        out.write(
+            f"converted {len(trace.requests)} request(s) to {path}"
+            + (f" ({skipped} unresolvable event(s) skipped)" if skipped else "")
+            + "\n"
+        )
+        return 0
+
+    # replay
+    from repro.workloads.replay import replay_open_loop, replay_trace
+
+    trace = WorkloadTrace.load(args.trace_file)
+    cfg = None
+    if args.config or args.components:
+        base = args.config or (
+            "8link" if trace.config_name == "8link_8gb" else "4link"
+        )
+        cfg = _configs(base, args.components)[0]
+    if args.mode == "open":
+        s = replay_open_loop(trace, config=cfg, rate=args.rate)
+        _write_openloop(s, out)
+        return 0
+    rs = replay_trace(trace, config=cfg)
+    r = rs.result
     out.write(
-        f"{s.config_name} pointer chase x{s.length} "
-        f"({'scattered' if s.scattered else 'sequential'}"
-        f"{', timed' if s.timed else ''}): {s.cycles} cycles, "
-        f"{s.cycles_per_hop:.2f} cycles/hop, "
-        f"order={'ok' if s.order_correct else 'BROKEN'}\n"
+        f"{rs.config_name} trace replay"
+        + (f" [{rs.workload}]" if rs.workload else "")
+        + f": {len(r.threads)} thread(s), {r.total_cycles} cycles, "
+        f"min={r.min_cycle} max={r.max_cycle} avg={r.avg_cycle:.2f}\n"
     )
-    return 0
+    match = rs.matches_baseline
+    if match is None:
+        out.write("no baseline in the trace header; nothing to check\n")
+        return 0
+    if match:
+        out.write("baseline: per-thread cycles match the recording\n")
+        return 0
+    out.write("baseline MISMATCH:\n")
+    for line in rs.mismatches():
+        out.write(f"  {line}\n")
+    return 1
+
+
+def _cmd_graph(args, out) -> int:
+    cfg = _configs(args.config, args.components)[0]
+    frontend = WORKLOADS.get(f"graph:{args.scenario}")
+    s = frontend.run(cfg, {})
+    out.write(
+        f"{s.config_name} graph:{args.scenario}: {s.tasks} task(s) on "
+        f"{s.threads} thread(s), {s.total_cycles} cycles, "
+        f"verified={s.verified}\n"
+    )
+    if args.schedule:
+        for name, (start, done) in sorted(
+            s.schedule.items(), key=lambda kv: (kv[1], kv[0])
+        ):
+            out.write(f"  {name}: cycles {start}..{done}\n")
+    return 0 if s.verified else 1
 
 
 def _cmd_analyze(args, out) -> int:
@@ -505,6 +625,9 @@ def _cmd_info(out) -> int:
     out.write("fault kinds (--fault kind=param, primary param shown):\n")
     for key, primary, doc in FAULTS.describe():
         out.write(f"  {key} ({primary}): {doc}\n")
+    out.write("workloads (run via kernel/chase/trace/graph subcommands):\n")
+    for name, kind, desc in WORKLOADS.describe():
+        out.write(f"  {name} [{kind}]: {desc}\n")
     return 0
 
 
@@ -520,20 +643,40 @@ def _cmd_fuzz(args, out) -> int:
     from repro.oracle import PROFILES, emit_repro, generate_trace, run_trace
     from repro.oracle import shrink_trace
 
-    if args.profile != "all" and args.profile not in PROFILES:
+    if args.trace_path is None and args.profile == "trace":
+        raise SystemExit(
+            "hmcsim-repro: error: the 'trace' profile replays a recorded "
+            "workload trace; pass one with --trace PATH"
+        )
+    if (
+        args.trace_path is None
+        and args.profile != "all"
+        and args.profile not in PROFILES
+    ):
         raise SystemExit(
             f"hmcsim-repro: error: unknown profile {args.profile!r} "
-            f"(have: all, {', '.join(sorted(PROFILES))})"
+            f"(have: all, trace, {', '.join(sorted(PROFILES))})"
         )
+    wtrace = None
+    if args.trace_path is not None:
+        from repro.workloads.tracefmt import WorkloadTrace
+
+        wtrace = WorkloadTrace.load(args.trace_path)
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
-        profile = (
-            _FUZZ_ROTATION[seed % len(_FUZZ_ROTATION)]
-            if args.profile == "all" else args.profile
-        )
-        trace = generate_trace(
-            seed, profile=profile, count=args.count, config_name=args.config
-        )
+        if wtrace is not None:
+            from repro.oracle.workload_traces import trace_from_workload
+
+            profile = "trace"
+            trace = trace_from_workload(wtrace, seed=seed)
+        else:
+            profile = (
+                _FUZZ_ROTATION[seed % len(_FUZZ_ROTATION)]
+                if args.profile == "all" else args.profile
+            )
+            trace = generate_trace(
+                seed, profile=profile, count=args.count, config_name=args.config
+            )
         overrides = (
             {SEAM_FIELDS[seam]: key for seam, key in args.components}
             if args.components else None
@@ -593,6 +736,10 @@ def _dispatch(args, out) -> int:
         return _cmd_openloop(args, out)
     if args.command == "chase":
         return _cmd_chase(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "graph":
+        return _cmd_graph(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
     if args.command == "fuzz":

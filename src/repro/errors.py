@@ -98,6 +98,18 @@ class ComponentError(HMCSimError):
     """
 
 
+class WorkloadError(HMCSimError):
+    """A workload-frontend registration, lookup, or run request failed.
+
+    The workload registry (:mod:`repro.workloads.registry`) keys
+    frontends — kernel adapters, trace replay, task graphs — by string
+    name, mirroring the component registry.  Registering a duplicate
+    name, requesting an unknown workload, passing parameters a frontend
+    does not declare, or driving a frontend in a mode it does not
+    support (e.g. recording a multi-phase kernel) raises this error.
+    """
+
+
 class FaultError(HMCSimError):
     """A fault-injection plan could not be parsed, registered, or built.
 

@@ -123,6 +123,11 @@ class HostEngine:
         #: instead of raising — on whenever the run can produce them.
         self.resilient = watchdog is not None or sim.faults is not None
         self.duplicate_rsps = 0
+        #: Optional trace recorder (``on_send(cycle, thread, pkt)`` per
+        #: accepted send, ``on_result(result)`` at completion) — one
+        #: ``None``-check per send when unset.  See
+        #: :class:`repro.workloads.replay.TraceRecorder`.
+        self.recorder = None
         self.threads: List[SimThread] = []
         self._by_tag: Dict[int, SimThread] = {}
 
@@ -176,6 +181,10 @@ class HostEngine:
             return
         thread.requests += 1
         thread.pending = None
+        if self.recorder is not None:
+            self.recorder.on_send(
+                self.sim.cycle if cycle is None else cycle, thread, pkt
+            )
         if self.sim._expects_response(pkt):
             thread.state = ThreadState.WAITING
             if self.watchdog is not None:
@@ -220,6 +229,13 @@ class HostEngine:
         # only the iteration order (thread id, the seed engine's full
         # scan order) has to be restored before injecting.
         inject = [t for t in live if t.state is READY and t.pending is not None]
+        # ``inject`` is kept sorted by tid across cycles: the initial
+        # population is in tid order (``self.threads`` is), and the
+        # phase-1 scan compacts it in place, which preserves order.
+        # Only phase-3/watchdog appends can break it, so they set the
+        # dirty flag and the sort runs on the cycles that need it
+        # instead of every cycle of a long contended run.
+        inject_dirty = False
         by_tid = _BY_TID
         sim = self.sim
         by_tag = self._by_tag
@@ -239,16 +255,22 @@ class HostEngine:
             # Phase 1: inject pending requests (tid order, as the full
             # thread scan would visit them).
             if inject:
-                if len(inject) > 1:
-                    inject.sort(key=by_tid)
-                retry = []
+                if inject_dirty:
+                    if len(inject) > 1:
+                        inject.sort(key=by_tid)
+                    inject_dirty = False
+                # Compact in place: threads that stalled (or chained a
+                # posted send) stay, everything else is dropped — no
+                # per-cycle retry-list allocation.
+                keep = 0
                 for thread in inject:
                     self._try_send(thread, cyc)
                     if thread.done:
                         finished = True
                     elif thread.state is READY and thread.pending is not None:
-                        retry.append(thread)
-                inject = retry
+                        inject[keep] = thread
+                        keep += 1
+                del inject[keep:]
             # Phase 2: one device cycle.
             sim.clock()
             cyc = sim.cycle
@@ -289,6 +311,7 @@ class HostEngine:
                                 # Same-cycle reissue stalled (or chained
                                 # a posted send): retry next phase 1.
                                 inject.append(thread)
+                                inject_dirty = True
             # Phase 4 (resilience, only when configured): retransmit
             # timed-out tags, then verify conservation invariants.
             if wd is not None:
@@ -313,6 +336,7 @@ class HostEngine:
                     thread.pending = entry.packet
                     thread.state = READY
                     inject.append(thread)
+                    inject_dirty = True
             if checker is not None:
                 checker.check(cyc)
             if finished:
@@ -337,6 +361,8 @@ class HostEngine:
         result.duplicate_rsps = self.duplicate_rsps
         if checker is not None:
             result.invariant_checks = checker.checks
+        if self.recorder is not None:
+            self.recorder.on_result(result)
         return result
 
     def _thread_dump(self, live: Sequence[SimThread]) -> Dict[str, str]:

@@ -1,5 +1,12 @@
 """Workload kernels.
 
+These modules hold the kernel *implementations*; the uniform way to
+run one is by name through the workload registry
+(:data:`repro.workloads.registry.WORKLOADS` — see
+:mod:`repro.workloads`), which wraps each kernel in a
+:class:`~repro.workloads.base.WorkloadFrontend` adapter.  The CLI,
+sweeps, and trace recorder all resolve kernels that way.
+
 * :mod:`repro.host.kernels.mutex_kernel` — the paper's Algorithm 1
   (the §V evaluation workload).
 * :mod:`repro.host.kernels.stream` — STREAM Triad (stride-1, from the
@@ -18,6 +25,8 @@
   measurement, with row-buffer effects under the timing extension.
 * :mod:`repro.host.kernels.barrier` — a sense-reversing barrier
   composed from CMC operations.
+* :mod:`repro.host.kernels.sssp` — single-source shortest paths with
+  CAS-offloaded relaxations versus a host-side baseline.
 """
 
 from repro.host.kernels.mutex_kernel import MutexRunStats, mutex_program, run_mutex_workload

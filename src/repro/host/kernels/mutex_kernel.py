@@ -106,6 +106,7 @@ def run_mutex_workload(
     sim: Optional[HMCSim] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     fault_plan: Optional[FaultPlan] = None,
+    recorder: Optional[object] = None,
 ) -> MutexRunStats:
     """Run Algorithm 1 with ``num_threads`` threads on ``config``.
 
@@ -120,6 +121,8 @@ def run_mutex_workload(
         fault_plan: optional fault plan to attach; a faulty run gets a
             per-tag watchdog (dropped responses are retransmitted
             instead of deadlocking the sweep).
+        recorder: optional trace recorder hung off the engine (see
+            :class:`repro.workloads.replay.TraceRecorder`).
 
     Returns:
         The MIN/MAX/AVG cycle statistics of §V.B.
@@ -136,6 +139,8 @@ def run_mutex_workload(
         TagWatchdog(timeout=FAULT_WATCHDOG_TIMEOUT) if sim.faults is not None else None
     )
     engine = HostEngine(sim, max_cycles=max_cycles, watchdog=watchdog)
+    if recorder is not None:
+        engine.recorder = recorder
     engine.add_threads(num_threads, lambda ctx: mutex_program(ctx, lock_addr))
     result: EngineResult = engine.run()
     cmc_execs = sum(op.executions for op in sim.cmc.operations())

@@ -71,6 +71,7 @@ def run_ticket_workload(
     lock_addr: int = DEFAULT_LOCK_ADDR,
     sim: Optional[HMCSim] = None,
     max_cycles: int = 1_000_000,
+    recorder: Optional[object] = None,
 ) -> TicketRunStats:
     """Run the ticket-lock workload with ``num_threads`` threads."""
     if num_threads < 1:
@@ -81,6 +82,8 @@ def run_ticket_workload(
     init_ticket_lock(sim, lock_addr)
     acquisitions: List[int] = []
     engine = HostEngine(sim, max_cycles=max_cycles)
+    if recorder is not None:
+        engine.recorder = recorder
     engine.add_threads(
         num_threads, lambda ctx: ticket_program(ctx, lock_addr, acquisitions)
     )

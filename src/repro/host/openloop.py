@@ -8,28 +8,31 @@ view: requests arrive at a fixed offered rate regardless of completion
 regime where the HMC-Sim queueing structures (and their stalls)
 actually fill.
 
-:func:`run_open_loop` injects read requests at ``offered_rate``
-requests/cycle for ``duration`` cycles, spreading them round-robin
-over the links, with target addresses from a deterministic pattern
-("uniform" LCG scatter or "stride" streaming).  It reports achieved
-throughput, latency statistics, and stall counts.  The 11-bit tag
-space bounds the in-flight population exactly as it would a real host;
-when no tag is free the injector drops the injection slot and counts
-it (offered > sustainable load shows up as both latency growth and
-injection backlog).
+:func:`drive_open_loop` is the injector itself: it pulls packets from
+a ``build(idx, tag)`` callback at ``offered_rate`` requests/cycle for
+``duration`` cycles, with the 11-bit tag space bounding the in-flight
+population exactly as it would a real host; when no tag is free the
+injector drops the injection slot and counts it (offered > sustainable
+load shows up as both latency growth and injection backlog).
+
+:func:`run_open_loop` is the classic characterization harness on top:
+RD16 traffic over a deterministic address pattern ("uniform" LCG
+scatter or "stride" streaming), spread round-robin over the links.
+Trace replay (:func:`repro.workloads.replay.replay_open_loop`) drives
+the same injector with recorded request streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import HMCStatus
 from repro.hmc.commands import hmc_rqst_t
 from repro.hmc.config import HMCConfig
 from repro.hmc.sim import HMCSim
 
-__all__ = ["OpenLoopStats", "run_open_loop"]
+__all__ = ["OpenLoopStats", "drive_open_loop", "run_open_loop"]
 
 _LCG_MUL = 6364136223846793005
 _LCG_ADD = 1442695040888963407
@@ -92,6 +95,88 @@ class OpenLoopStats:
         return self.backlogged > 0 or self.achieved_rate < self.offered_rate * 0.95
 
 
+def drive_open_loop(
+    sim: HMCSim,
+    stats: OpenLoopStats,
+    count: int,
+    build: Callable[[int, int], object],
+    *,
+    offered_rate: float,
+    duration: int,
+    max_drain: int = 100_000,
+    link_for: Optional[Callable[[int], int]] = None,
+) -> OpenLoopStats:
+    """Inject ``count`` requests at a fixed rate; fill in ``stats``.
+
+    Args:
+        sim: the simulation context (state already prepared).
+        stats: the stats object to accumulate into (identity fields set
+            by the caller).
+        count: length of the request stream; injection stops early when
+            the stream is exhausted before ``duration`` elapses.
+        build: ``build(idx, tag)`` returns the ``idx``-th request packet
+            carrying ``tag`` (tags are leased from the free pool and
+            recycled on completion).
+        offered_rate: requests per device cycle (fractional rates use a
+            deterministic accumulator).
+        duration: injection window in cycles; the run then drains.
+        max_drain: drain-phase safety bound.
+        link_for: link choice per stream index; round-robin over the
+            config's links when omitted.
+    """
+    num_links = sim.config.num_links
+    free_tags = list(range(0x800))
+    inject_cycle: Dict[int, int] = {}
+
+    credit = 0.0
+    idx = 0
+    link_rr = 0
+
+    def drain_responses() -> None:
+        for link in range(num_links):
+            while True:
+                rsp = sim.recv(link=link)
+                if rsp is None:
+                    break
+                stats.completed += 1
+                stats.latencies.append(sim.cycle - inject_cycle.pop(rsp.tag))
+                free_tags.append(rsp.tag)
+
+    for _ in range(duration):
+        credit += offered_rate
+        while credit >= 1.0 and idx < count:
+            credit -= 1.0
+            if not free_tags:
+                stats.backlogged += 1
+                continue
+            tag = free_tags.pop()
+            pkt = build(idx, tag)
+            link = link_rr if link_for is None else link_for(idx)
+            status = sim.send(pkt, link=link)
+            if status is HMCStatus.STALL:
+                free_tags.append(tag)
+                stats.backlogged += 1
+            else:
+                if sim._expects_response(pkt):
+                    inject_cycle[tag] = sim.cycle
+                else:
+                    free_tags.append(tag)  # posted: nothing to await
+                stats.injected += 1
+                idx += 1
+            link_rr = (link_rr + 1) % num_links
+        sim.clock()
+        drain_responses()
+
+    # Drain phase: no new injections.
+    drained = 0
+    while inject_cycle and drained < max_drain:
+        sim.clock()
+        drain_responses()
+        drained += 1
+    stats.drain_cycles = drained
+    return stats
+
+
 def run_open_loop(
     config: HMCConfig,
     *,
@@ -115,12 +200,8 @@ def run_open_loop(
         max_drain: drain-phase safety bound.
     """
     sim = HMCSim(config)
-    num_links = config.num_links
     total_wanted = int(offered_rate * duration) + 1
     addrs = _pattern_addrs(pattern, total_wanted, footprint, seed)
-
-    free_tags = list(range(0x800))
-    inject_cycle: Dict[int, int] = {}
     stats = OpenLoopStats(
         config_name=config.describe(),
         pattern=pattern,
@@ -131,49 +212,12 @@ def run_open_loop(
         backlogged=0,
         drain_cycles=0,
     )
-
-    credit = 0.0
-    addr_idx = 0
-    link_rr = 0
-
-    def drain_responses() -> None:
-        for link in range(num_links):
-            while True:
-                rsp = sim.recv(link=link)
-                if rsp is None:
-                    return_tag = None
-                    break
-                return_tag = rsp.tag
-                stats.completed += 1
-                stats.latencies.append(sim.cycle - inject_cycle.pop(return_tag))
-                free_tags.append(return_tag)
-
-    for _ in range(duration):
-        credit += offered_rate
-        while credit >= 1.0:
-            credit -= 1.0
-            if not free_tags:
-                stats.backlogged += 1
-                continue
-            tag = free_tags.pop()
-            pkt = sim.build_memrequest(hmc_rqst_t.RD16, addrs[addr_idx], tag)
-            status = sim.send(pkt, link=link_rr)
-            if status is HMCStatus.STALL:
-                free_tags.append(tag)
-                stats.backlogged += 1
-            else:
-                inject_cycle[tag] = sim.cycle
-                stats.injected += 1
-                addr_idx += 1
-            link_rr = (link_rr + 1) % num_links
-        sim.clock()
-        drain_responses()
-
-    # Drain phase: no new injections.
-    drained = 0
-    while inject_cycle and drained < max_drain:
-        sim.clock()
-        drain_responses()
-        drained += 1
-    stats.drain_cycles = drained
-    return stats
+    return drive_open_loop(
+        sim,
+        stats,
+        len(addrs),
+        lambda idx, tag: sim.build_memrequest(hmc_rqst_t.RD16, addrs[idx], tag),
+        offered_rate=offered_rate,
+        duration=duration,
+        max_drain=max_drain,
+    )

@@ -18,9 +18,13 @@ persistent result cache (:mod:`repro.parallel.cache`) keys an entry by
 * the **component fingerprint** — the ``module:qualname`` of the
   factory registered for each selected seam implementation, so
   swapping the code behind a registry key invalidates old entries;
-* the **kernel version tag** — bumped by a kernel when its cycle
-  semantics change (see ``KERNEL_VERSION`` in
-  :mod:`repro.host.kernels.mutex_kernel`);
+* the **workload fingerprint** — resolved through the workload
+  registry when the spec's kernel name is registered there (the class
+  identity plus its declared ``version``, see
+  :meth:`repro.workloads.registry.WorkloadRegistry.fingerprint`), so
+  re-pointing a registry name at different code — or bumping a
+  workload's version — invalidates old entries; unregistered kernels
+  fall back to the spec's literal ``kernel_version`` tag;
 * the **fault-plan fingerprint** — present only when the spec carries a
   :class:`~repro.faults.plan.FaultPlan`, so a faulty point can never
   alias a fault-free one (and fault-free keys are unchanged from before
@@ -122,14 +126,26 @@ def component_fingerprint(config: HMCConfig) -> str:
 def cache_key(spec: TaskSpec) -> str:
     """Stable, filesystem-safe cache key for one task spec.
 
-    Fault-free specs keep the historical five-segment key (existing
-    cache entries stay valid); a spec carrying a fault plan appends a
-    ``f<fingerprint>`` segment covering the plan's kinds, resolved
-    parameters, and seed.
+    Fault-free specs keep the historical five-segment key shape; a
+    spec carrying a fault plan appends a ``f<fingerprint>`` segment
+    covering the plan's kinds, resolved parameters, and seed.
+
+    The version segment resolves through the workload registry when
+    the kernel name is registered there, so the cache key tracks the
+    *implementation* behind the name (no-alias: swapping the class or
+    bumping its ``version`` changes the key).  Unregistered kernel
+    names use the spec's literal ``kernel_version``.
     """
+    from repro.workloads.registry import WORKLOADS
+
+    version = (
+        WORKLOADS.fingerprint(spec.kernel)
+        if WORKLOADS.has(spec.kernel)
+        else spec.kernel_version
+    )
     segments = [
         spec.kernel,
-        spec.kernel_version,
+        version,
         config_fingerprint(spec.config),
         component_fingerprint(spec.config),
         f"t{spec.threads}",

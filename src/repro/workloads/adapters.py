@@ -1,0 +1,746 @@
+"""Registry adapters for the nine hand-written host kernels.
+
+Each adapter puts one legacy kernel behind the
+:class:`~repro.workloads.base.WorkloadFrontend` seam.  The kernel
+implementation modules under :mod:`repro.host.kernels` are untouched
+(tests and the paper sweeps import them directly); :meth:`run`
+delegates to the legacy entrypoint, so registry-resolved runs are
+bit-identical to direct calls *by construction* — and pinned against
+drift by the digest-parity suite in ``tests/workloads/``.
+
+:meth:`build` / :meth:`prepare` are honest re-statements of each
+kernel's construction (the same program functions, preloads, and
+thread fan-out the legacy runner uses), which is what lets the generic
+engine path — and therefore trace recording and replay — drive the
+single-engine kernels.  The two multi-phase kernels (BFS, SSSP) run
+several engine waves per call; they stay runnable through the registry
+but are not engine-drivable as a single ``build()``.
+
+This module *defines* concrete frontends; only
+:mod:`repro.workloads.catalog` may import them (workload-containment
+lint).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.kernels.mutex_kernel import KERNEL_VERSION as _MUTEX_KERNEL_VERSION
+from repro.workloads.base import Footprint, ProgramFactory, WorkloadFrontend
+
+__all__ = [
+    "MutexWorkload",
+    "TicketWorkload",
+    "StreamWorkload",
+    "GUPSWorkload",
+    "BFSWorkload",
+    "HistogramWorkload",
+    "PointerChaseWorkload",
+    "BarrierWorkload",
+    "SSSPWorkload",
+]
+
+
+class KernelAdapter(WorkloadFrontend):
+    """Shared shape for the legacy-kernel adapters."""
+
+    kind = "kernel"
+    #: Whether one ``build()`` covers the whole run (False for the
+    #: multi-engine wave kernels).
+    engine_drivable = True
+    #: Whether the ``kernel`` CLI subcommand offers this workload.
+    cli_kernel = True
+
+    def cli_variants(self, threads: int) -> List[Dict[str, Any]]:
+        """Parameter dicts the ``kernel`` subcommand runs, in order."""
+        return [{"threads": threads}]
+
+    def format_stats(self, stats: Any, fault_plan: Any = None) -> str:
+        """One CLI output line for ``stats``."""
+        raise NotImplementedError
+
+
+class MutexWorkload(KernelAdapter):
+    """Algorithm 1: the paper's lock/trylock/unlock contention kernel."""
+
+    name = "mutex"
+    description = "Algorithm-1 lock contention (the paper's §V.B sweep)"
+    supports_faults = True
+    recordable = True
+    # The kernel's own version tag feeds the registry fingerprint, so
+    # the historical "bump KERNEL_VERSION on semantic change" discipline
+    # keeps invalidating cached sweep points.
+    version = _MUTEX_KERNEL_VERSION
+
+    def default_params(self) -> Dict[str, Any]:
+        from repro.host.kernels.mutex_kernel import (
+            DEFAULT_LOCK_ADDR,
+            DEFAULT_MAX_CYCLES,
+        )
+
+        return {
+            "threads": 16,
+            "lock_addr": DEFAULT_LOCK_ADDR,
+            "max_cycles": DEFAULT_MAX_CYCLES,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        from repro.cmc_ops.mutex import init_lock, load_mutex_ops
+
+        if not sim.cmc.operations():
+            load_mutex_ops(sim)
+        init_lock(sim, params["lock_addr"])
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.mutex_kernel import mutex_program
+
+        lock_addr = params["lock_addr"]
+        return [
+            lambda ctx: mutex_program(ctx, lock_addr)
+            for _ in range(params["threads"])
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((params["lock_addr"], 16),)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any) -> bool:
+        # Every thread unlocks on its way out: the lock word ends free.
+        word = sim.mem_read(params["lock_addr"], 8)
+        return int.from_bytes(word, "little") == 0
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.mutex_kernel import run_mutex_workload
+
+        p = self.resolve_params(params)
+        return run_mutex_workload(
+            config,
+            p["threads"],
+            lock_addr=p["lock_addr"],
+            sim=sim,
+            max_cycles=p["max_cycles"],
+            fault_plan=fault_plan,
+            recorder=recorder,
+        )
+
+    def task_spec(self, config, threads, *, fault_plan=None, **params):
+        """A picklable sweep point (the parallel engine's unit of work)."""
+        from repro.host.kernels.mutex_kernel import mutex_task_spec
+
+        return mutex_task_spec(config, threads, fault_plan=fault_plan, **params)
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        line = (
+            f"{s.config_name} mutex x{s.threads}: min={s.min_cycle} "
+            f"max={s.max_cycle} avg={s.avg_cycle:.2f} "
+            f"(cmc executions: {s.cmc_executions})"
+        )
+        if fault_plan is not None:
+            line += (
+                f" [{fault_plan.describe()}: {s.faults_injected} faults, "
+                f"{s.retransmits} retransmits]"
+            )
+        return line
+
+
+class TicketWorkload(KernelAdapter):
+    """FIFO ticket lock over the CMC21/22/23 triple."""
+
+    name = "ticket"
+    description = "FIFO ticket lock (CMC enter/wait/exit)"
+    recordable = True
+
+    def default_params(self) -> Dict[str, Any]:
+        from repro.host.kernels.ticket_kernel import DEFAULT_LOCK_ADDR
+
+        return {
+            "threads": 16,
+            "lock_addr": DEFAULT_LOCK_ADDR,
+            "max_cycles": 1_000_000,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        from repro.cmc_ops.ticket import init_ticket_lock, load_ticket_ops
+
+        if not sim.cmc.operations():
+            load_ticket_ops(sim)
+        init_ticket_lock(sim, params["lock_addr"])
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.ticket_kernel import ticket_program
+
+        lock_addr = params["lock_addr"]
+        self._acquisitions: List[int] = []
+        acquisitions = self._acquisitions
+        return [
+            lambda ctx: ticket_program(ctx, lock_addr, acquisitions)
+            for _ in range(params["threads"])
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((params["lock_addr"], 16),)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any) -> bool:
+        acquired = getattr(self, "_acquisitions", None)
+        if acquired is None:
+            return None
+        return acquired == sorted(acquired) and len(acquired) == params["threads"]
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.ticket_kernel import run_ticket_workload
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'ticket' does not support fault plans")
+        p = self.resolve_params(params)
+        return run_ticket_workload(
+            config,
+            p["threads"],
+            lock_addr=p["lock_addr"],
+            sim=sim,
+            max_cycles=p["max_cycles"],
+            recorder=recorder,
+        )
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} ticket x{s.threads}: min={s.min_cycle} "
+            f"max={s.max_cycle} avg={s.avg_cycle:.2f} fifo={s.fifo_order}"
+        )
+
+
+class StreamWorkload(KernelAdapter):
+    """STREAM Triad over three disjoint double arrays."""
+
+    name = "stream"
+    description = "STREAM Triad bandwidth kernel (a = b + q*c)"
+
+    #: Array bases, 1 MiB apart (the legacy layout).
+    _BASES = (1 << 20, 2 << 20, 3 << 20)
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 16,
+            "blocks_per_thread": 8,
+            "q": 3.0,
+            "block_bytes": 64,
+            "windowed": False,
+            "max_cycles": 1_000_000,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        n = (
+            params["threads"]
+            * params["blocks_per_thread"]
+            * (params["block_bytes"] // 8)
+        )
+        _, b_base, c_base = self._BASES
+        b_vals = [float(i % 97) for i in range(n)]
+        c_vals = [float((i * 7) % 31) for i in range(n)]
+        sim.mem_write(b_base, struct.pack(f"<{n}d", *b_vals))
+        sim.mem_write(c_base, struct.pack(f"<{n}d", *c_vals))
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.stream import stream_triad_program
+
+        if params["windowed"]:
+            raise WorkloadError(
+                "workload 'stream' is engine-drivable only with "
+                "windowed=False (the windowed variant needs the "
+                "windowed engine's batch-yield protocol)"
+            )
+        a_base, b_base, c_base = self._BASES
+        bpt = params["blocks_per_thread"]
+        q, bb = params["q"], params["block_bytes"]
+        return [
+            lambda ctx, t=t: stream_triad_program(
+                ctx, a_base, b_base, c_base, t * bpt, bpt, q, bb
+            )
+            for t in range(params["threads"])
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        size = (
+            params["threads"] * params["blocks_per_thread"] * params["block_bytes"]
+        )
+        return tuple((base, size) for base in self._BASES)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any) -> bool:
+        n = (
+            params["threads"]
+            * params["blocks_per_thread"]
+            * (params["block_bytes"] // 8)
+        )
+        a_base, _, _ = self._BASES
+        q = params["q"]
+        got = struct.unpack(f"<{n}d", sim.mem_read(a_base, n * 8))
+        b_vals = [float(i % 97) for i in range(n)]
+        c_vals = [float((i * 7) % 31) for i in range(n)]
+        return all(
+            g == bv + q * cv for g, bv, cv in zip(got, b_vals, c_vals)
+        )
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.stream import run_stream_triad
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'stream' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'stream' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'stream' builds its own context")
+        p = self.resolve_params(params)
+        return run_stream_triad(
+            config,
+            num_threads=p["threads"],
+            blocks_per_thread=p["blocks_per_thread"],
+            q=p["q"],
+            block_bytes=p["block_bytes"],
+            windowed=p["windowed"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} STREAM Triad x{s.threads}: {s.cycles} cycles, "
+            f"{s.bytes_per_cycle:.1f} B/cycle, err={s.max_abs_error}"
+        )
+
+
+class GUPSWorkload(KernelAdapter):
+    """HPCC RandomAccess: XOR updates over a scattered table."""
+
+    name = "gups"
+    description = "HPCC RandomAccess (atomic XOR16 vs read-modify-write)"
+
+    _TABLE_BASE = 1 << 20
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 16,
+            "updates_per_thread": 32,
+            "table_entries": 4096,
+            "atomic": True,
+            "seed": 0x2545F4914F6CDD1D,
+            "max_cycles": 2_000_000,
+        }
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.gups import gups_program, hpcc_random_stream
+
+        upd = params["updates_per_thread"]
+        all_updates = hpcc_random_stream(params["seed"], params["threads"] * upd)
+        entries, atomic = params["table_entries"], params["atomic"]
+        return [
+            lambda ctx, chunk=all_updates[t * upd : (t + 1) * upd]: gups_program(
+                ctx, self._TABLE_BASE, entries, chunk, atomic
+            )
+            for t in range(params["threads"])
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((self._TABLE_BASE, params["table_entries"] * 16),)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any):
+        if not params["atomic"]:
+            return None  # rmw mode tolerates lost updates by design
+        from repro.host.kernels.gups import hpcc_random_stream
+
+        entries = params["table_entries"]
+        ref = [0] * entries
+        for r in hpcc_random_stream(
+            params["seed"], params["threads"] * params["updates_per_thread"]
+        ):
+            ref[r % entries] ^= r
+        return all(
+            int.from_bytes(sim.mem_read(self._TABLE_BASE + i * 16, 8), "little")
+            == ref[i]
+            for i in range(entries)
+        )
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.gups import run_gups
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'gups' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'gups' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'gups' builds its own context")
+        p = self.resolve_params(params)
+        return run_gups(
+            config,
+            num_threads=p["threads"],
+            updates_per_thread=p["updates_per_thread"],
+            table_entries=p["table_entries"],
+            use_atomic=p["atomic"],
+            seed=p["seed"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def cli_variants(self, threads: int) -> List[Dict[str, Any]]:
+        return [
+            {"threads": threads, "atomic": False},
+            {"threads": threads, "atomic": True},
+        ]
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} GUPS ({s.mode}) x{s.threads}: {s.cycles} cycles, "
+            f"{s.updates_per_cycle:.3f} upd/cycle, verified={s.verified}"
+        )
+
+
+class BFSWorkload(KernelAdapter):
+    """Level-synchronous BFS: one engine wave per frontier level."""
+
+    name = "bfs"
+    description = "level-synchronous BFS (CASEQ8 visited-marking vs rmw)"
+    engine_drivable = False
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 8,
+            "vertices": 256,
+            "degree": 4,
+            "cas": True,
+            "root": 0,
+            "seed": 12345,
+            "max_cycles": 5_000_000,
+        }
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        raise WorkloadError(
+            "workload 'bfs' is multi-phase (one engine per frontier "
+            "level); drive it through run()"
+        )
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.bfs import run_bfs
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'bfs' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'bfs' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'bfs' builds its own context")
+        p = self.resolve_params(params)
+        return run_bfs(
+            config,
+            num_vertices=p["vertices"],
+            avg_degree=p["degree"],
+            num_threads=p["threads"],
+            use_cas=p["cas"],
+            root=p["root"],
+            seed=p["seed"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def cli_variants(self, threads: int) -> List[Dict[str, Any]]:
+        return [
+            {"threads": threads, "cas": False},
+            {"threads": threads, "cas": True},
+        ]
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} BFS ({s.mode}): {s.edges} edges, "
+            f"{s.requests} requests, {s.flits} flits, verified={s.verified}"
+        )
+
+
+class HistogramWorkload(KernelAdapter):
+    """Histogram binning: atomic INC8, posted P_INC8, or host rmw."""
+
+    name = "hist"
+    description = "histogram binning (atomic / posted / rmw increments)"
+
+    _BINS_BASE = 1 << 20
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 16,
+            "samples_per_thread": 32,
+            "bins": 16,
+            "mode": "atomic",
+            "seed": 99,
+            "max_cycles": 2_000_000,
+        }
+
+    @staticmethod
+    def _samples(params: Dict[str, Any]) -> List[int]:
+        state = params["seed"] & 0xFFFFFFFFFFFFFFFF
+        samples: List[int] = []
+        for _ in range(params["threads"] * params["samples_per_thread"]):
+            state = (state * 2862933555777941757 + 3037000493) & 0xFFFFFFFFFFFFFFFF
+            samples.append(
+                int(((state >> 11) / (1 << 53)) ** 2 * params["bins"])
+            )
+        return samples
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.histogram import _hist_program
+
+        spt = params["samples_per_thread"]
+        samples = self._samples(params)
+        mode = params["mode"]
+        return [
+            lambda ctx, chunk=samples[t * spt : (t + 1) * spt]: _hist_program(
+                ctx, self._BINS_BASE, chunk, mode
+            )
+            for t in range(params["threads"])
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((self._BINS_BASE, params["bins"] * 16),)
+
+    def finish(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        if params["mode"] == "posted":
+            sim.drain()
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any):
+        if params["mode"] == "rmw":
+            return None  # lost updates are the point of the rmw mode
+        ref = [0] * params["bins"]
+        for s in self._samples(params):
+            ref[s] += 1
+        return all(
+            int.from_bytes(sim.mem_read(self._BINS_BASE + b * 16, 8), "little")
+            == ref[b]
+            for b in range(params["bins"])
+        )
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.histogram import run_histogram
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'hist' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'hist' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'hist' builds its own context")
+        p = self.resolve_params(params)
+        return run_histogram(
+            config,
+            num_threads=p["threads"],
+            samples_per_thread=p["samples_per_thread"],
+            num_bins=p["bins"],
+            mode=p["mode"],
+            seed=p["seed"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def cli_variants(self, threads: int) -> List[Dict[str, Any]]:
+        return [
+            {"threads": threads, "mode": mode}
+            for mode in ("rmw", "atomic", "posted")
+        ]
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} histogram ({s.mode}): {s.cycles} cycles, "
+            f"{s.flits_per_sample:.1f} flits/sample, exact={s.exact}"
+        )
+
+
+class PointerChaseWorkload(KernelAdapter):
+    """Serial pointer chase: latency per dependent hop."""
+
+    name = "chase"
+    description = "pointer-chase latency kernel (sequential or scattered)"
+    cli_kernel = False  # has its own `chase` subcommand (single-thread)
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "length": 64,
+            "scatter": False,
+            "timing": False,
+            "base": 1 << 20,
+            "max_cycles": 1_000_000,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        from repro.host.kernels.pointer_chase import build_chain
+
+        self._head = build_chain(
+            sim, params["base"], params["length"], scatter=params["scatter"]
+        )
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.pointer_chase import chase_program
+
+        head = getattr(self, "_head", params["base"])
+        self._visited: List[int] = []
+        visited = self._visited
+        return [lambda ctx: chase_program(ctx, head, visited)]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((params["base"], params["length"] * 16),)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any):
+        visited = getattr(self, "_visited", None)
+        if visited is None:
+            return None
+        return visited == list(range(params["length"]))
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.hmc.timing import DEFAULT_TIMING
+        from repro.host.kernels.pointer_chase import run_pointer_chase
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'chase' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'chase' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'chase' builds its own context")
+        p = self.resolve_params(params)
+        return run_pointer_chase(
+            config,
+            length=p["length"],
+            scatter=p["scatter"],
+            timing=DEFAULT_TIMING if p["timing"] else None,
+            base=p["base"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} pointer chase x{s.length} "
+            f"({'scattered' if s.scattered else 'sequential'}"
+            f"{', timed' if s.timed else ''}): {s.cycles} cycles, "
+            f"{s.cycles_per_hop:.2f} cycles/hop, "
+            f"order={'ok' if s.order_correct else 'BROKEN'}"
+        )
+
+
+class BarrierWorkload(KernelAdapter):
+    """Sense-reversing barrier over the fadd64 CMC op."""
+
+    name = "barrier"
+    description = "sense-reversing barrier (CMC04 fadd64 arrival counter)"
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 8,
+            "rounds": 4,
+            "addr": 0x0,
+            "max_cycles": 2_000_000,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        if not sim.cmc.operations():
+            sim.load_cmc("repro.cmc_ops.fadd64")
+        sim.mem_write(params["addr"], bytes(16))
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        from repro.host.kernels.barrier import barrier_program
+
+        addr, threads, rounds = params["addr"], params["threads"], params["rounds"]
+        self._log: List = []
+        log = self._log
+        return [
+            lambda ctx: barrier_program(ctx, addr, threads, rounds, log)
+            for _ in range(threads)
+        ]
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        params = self.resolve_params(params)
+        return ((params["addr"], 16),)
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any):
+        from repro.host.kernels.barrier import _check_order
+
+        log = getattr(self, "_log", None)
+        if log is None:
+            return None
+        return _check_order(log, params["threads"], params["rounds"])
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'barrier' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'barrier' cannot be trace-recorded")
+        p = self.resolve_params(params)
+        return run_barrier_workload(
+            config,
+            p["threads"],
+            rounds=p["rounds"],
+            addr=p["addr"],
+            sim=sim,
+            max_cycles=p["max_cycles"],
+        )
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} barrier x{s.threads}: {s.rounds} rounds, "
+            f"{s.total_cycles} cycles ({s.cycles_per_round:.1f}/round), "
+            f"order={'ok' if s.order_correct else 'BROKEN'}"
+        )
+
+
+class SSSPWorkload(KernelAdapter):
+    """Bellman-Ford-style SSSP: one engine wave per relaxation round."""
+
+    name = "sssp"
+    description = "single-source shortest paths (CMC07 amin64 vs rmw)"
+    engine_drivable = False
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "threads": 8,
+            "vertices": 128,
+            "degree": 3,
+            "amin": True,
+            "source": 0,
+            "seed": 77,
+            "max_cycles": 5_000_000,
+        }
+
+    def build(self, sim: HMCSim, params: Dict[str, Any]) -> List[ProgramFactory]:
+        raise WorkloadError(
+            "workload 'sssp' is multi-phase (one engine per relaxation "
+            "round); drive it through run()"
+        )
+
+    def run(self, config, params=None, *, sim=None, fault_plan=None, recorder=None):
+        from repro.host.kernels.sssp import run_sssp
+
+        if fault_plan is not None:
+            raise WorkloadError("workload 'sssp' does not support fault plans")
+        if recorder is not None:
+            raise WorkloadError("workload 'sssp' cannot be trace-recorded")
+        if sim is not None:
+            raise WorkloadError("workload 'sssp' builds its own context")
+        p = self.resolve_params(params)
+        return run_sssp(
+            config,
+            num_vertices=p["vertices"],
+            avg_degree=p["degree"],
+            num_threads=p["threads"],
+            use_amin=p["amin"],
+            source=p["source"],
+            seed=p["seed"],
+            max_cycles=p["max_cycles"],
+        )
+
+    def cli_variants(self, threads: int) -> List[Dict[str, Any]]:
+        return [
+            {"threads": threads, "amin": False},
+            {"threads": threads, "amin": True},
+        ]
+
+    def format_stats(self, s, fault_plan=None) -> str:
+        return (
+            f"{s.config_name} SSSP ({s.mode}): {s.edges} edges, "
+            f"{s.rounds} rounds, {s.requests} requests, verified={s.verified}"
+        )

@@ -1,0 +1,178 @@
+"""The workload-frontend seam.
+
+HMC-Sim 2.0's evaluation (§V) drives the device with hand-written host
+kernels; our reproduction grew nine of them under
+:mod:`repro.host.kernels`, each with its own runner signature.  This
+module is the seam that makes them interchangeable: a
+:class:`WorkloadFrontend` turns a ``(config, params)`` pair into thread
+programs for the host engine, the same way Ramulator 2's frontend
+interface makes trace-driven and execution-driven workloads swappable
+implementations of one API.
+
+A frontend declares:
+
+``build(sim, params)``
+    The heart of the seam: a list of thread-program factories
+    (``Callable[[ThreadCtx], Program]``), one per simulated thread, to
+    be mapped onto :class:`~repro.host.thread.SimThread`\\ s.  The
+    simulation context is passed (rather than the bare config) so
+    programs may close over per-run state — preloaded tables, golden
+    values — that :meth:`prepare` set up.
+
+``prepare(sim, params)``
+    Initial device state: CMC modules to load, memory preloads.  Trace
+    replay calls this to reconstruct the recorded run's starting state
+    from the trace header alone.
+
+``footprint(config, params)``
+    The address regions the workload touches, as ``(base, nbytes)``
+    pairs — consumed by trace tooling and the differential oracle's
+    conflict fencing.
+
+``verify(sim, params, result)``
+    Post-run correctness hook (``None`` when the workload has no
+    memory-checkable answer).
+
+Frontends are registered by string name in
+:class:`repro.workloads.registry.WorkloadRegistry`; only the catalog
+module (:mod:`repro.workloads.catalog`) may name concrete frontend
+classes — the same composition-root discipline the component registry
+enforces for pipeline seams, checked by the same structural lint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.hmc.config import HMCConfig
+from repro.hmc.sim import HMCSim
+from repro.host.thread import Program, ThreadCtx
+
+__all__ = ["Footprint", "WorkloadFrontend", "WorkloadError"]
+
+#: Address regions a workload touches: ``((base, nbytes), ...)``.
+Footprint = Tuple[Tuple[int, int], ...]
+
+#: A thread-program factory, as the host engine consumes them.
+ProgramFactory = Callable[[ThreadCtx], Program]
+
+
+class WorkloadFrontend(ABC):
+    """One workload behind the registry seam.
+
+    Class attributes double as registry metadata:
+
+    ``name``
+        The registry key (``"mutex"``, ``"trace"``, ``"graph:counter"``).
+    ``version``
+        Folded into the parallel cache key via the workload
+        fingerprint; bump it whenever the workload's observable
+        behaviour changes.
+    ``kind``
+        ``"kernel"`` (runnable via the ``kernel`` CLI subcommand),
+        ``"trace"``, or ``"graph"``.
+    ``supports_faults``
+        Whether :meth:`run` accepts a fault plan.
+    ``recordable``
+        Whether the single-engine run can be captured by the trace
+        recorder (multi-phase kernels that run several engines are
+        not).
+    """
+
+    name: str = ""
+    version: str = "1"
+    description: str = ""
+    kind: str = "kernel"
+    supports_faults: bool = False
+    recordable: bool = False
+
+    # -- parameters -----------------------------------------------------------
+
+    def default_params(self) -> Dict[str, Any]:
+        """The parameter dictionary :meth:`run` merges user params into."""
+        return {}
+
+    def resolve_params(self, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults; reject unknown keys."""
+        merged = self.default_params()
+        for key, value in (params or {}).items():
+            if key not in merged:
+                raise WorkloadError(
+                    f"workload {self.name!r} has no parameter {key!r} "
+                    f"(have: {', '.join(sorted(merged)) or '<none>'})"
+                )
+            merged[key] = value
+        return merged
+
+    # -- the seam -------------------------------------------------------------
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        """Set up initial device state (CMC modules, memory preloads)."""
+
+    @abstractmethod
+    def build(
+        self, sim: HMCSim, params: Dict[str, Any]
+    ) -> List[ProgramFactory]:
+        """Thread-program factories for one engine run, in tid order."""
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        """Address regions the workload touches (may be empty)."""
+        return ()
+
+    def finish(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        """Post-engine settling (e.g. draining posted traffic)."""
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any) -> Optional[bool]:
+        """Post-run check; ``None`` when nothing is memory-checkable."""
+        return None
+
+    # -- driving --------------------------------------------------------------
+
+    def run(
+        self,
+        config: HMCConfig,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        sim: Optional[HMCSim] = None,
+        fault_plan: Any = None,
+        recorder: Any = None,
+    ) -> Any:
+        """Run the workload once and return its stats object.
+
+        The default implementation drives one
+        :class:`~repro.host.engine.HostEngine` over :meth:`build`'s
+        programs; kernel adapters override it to delegate to their
+        legacy entrypoints (bit-identical by construction), multi-phase
+        kernels to their own orchestration.
+        """
+        from repro.host.engine import HostEngine
+
+        if fault_plan is not None and not self.supports_faults:
+            raise WorkloadError(
+                f"workload {self.name!r} does not support fault plans"
+            )
+        if recorder is not None and not self.recordable:
+            raise WorkloadError(
+                f"workload {self.name!r} cannot be trace-recorded"
+            )
+        resolved = self.resolve_params(params)
+        if sim is None:
+            sim = HMCSim(config)
+        self.prepare(sim, resolved)
+        engine = HostEngine(
+            sim, max_cycles=int(resolved.get("max_cycles", 1_000_000))
+        )
+        if recorder is not None:
+            engine.recorder = recorder
+        for factory in self.build(sim, resolved):
+            engine.add_thread(factory)
+        result = engine.run()
+        self.finish(sim, resolved)
+        result_verified = self.verify(sim, resolved, result)
+        if result_verified is False:
+            raise WorkloadError(
+                f"workload {self.name!r} failed post-run verification"
+            )
+        return result

@@ -1,0 +1,48 @@
+"""The workload catalog — the composition root of the workload seam.
+
+This is the ONLY module allowed to name concrete
+:class:`~repro.workloads.base.WorkloadFrontend` classes (besides each
+class's own defining module); everything else resolves workloads by
+string through :data:`repro.workloads.registry.WORKLOADS`.  The
+structural lint (``scripts/lint_no_function_imports.py``,
+``run_workload_containment``) enforces this the same way it fences the
+component and CMC registries.
+
+The registry imports this module lazily on first lookup, so merely
+importing :mod:`repro.workloads.registry` (e.g. from the parallel
+cache-key path) stays cheap.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.adapters import (
+    BFSWorkload,
+    BarrierWorkload,
+    GUPSWorkload,
+    HistogramWorkload,
+    MutexWorkload,
+    PointerChaseWorkload,
+    SSSPWorkload,
+    StreamWorkload,
+    TicketWorkload,
+)
+from repro.workloads.graph import CounterGraphWorkload, PipelineGraphWorkload
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.replay import TraceReplayWorkload
+
+for _frontend in (
+    MutexWorkload,
+    TicketWorkload,
+    StreamWorkload,
+    GUPSWorkload,
+    BFSWorkload,
+    HistogramWorkload,
+    PointerChaseWorkload,
+    BarrierWorkload,
+    SSSPWorkload,
+    TraceReplayWorkload,
+    CounterGraphWorkload,
+    PipelineGraphWorkload,
+):
+    WORKLOADS.register(_frontend)
+del _frontend

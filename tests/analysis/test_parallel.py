@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import sweep as sweep_mod
 from repro.analysis.sweep import run_mutex_sweep
 from repro.hmc.config import HMCConfig
-from repro.host.kernels.mutex_kernel import KERNEL_VERSION, mutex_task_spec
+from repro.host.kernels.mutex_kernel import mutex_task_spec
 from repro.parallel import (
     SweepCache,
     SweepExecutor,
@@ -143,10 +143,31 @@ class TestTaskSpecs:
             mutex_task_spec(swapped, 2)
         )
 
-    def test_kernel_version_is_part_of_the_key(self):
+    def test_workload_fingerprint_is_part_of_the_key(self):
+        from repro.workloads.registry import WORKLOADS
+
         spec = mutex_task_spec(HMCConfig.cfg_4link_4gb(), 2)
-        assert KERNEL_VERSION in cache_key(spec)
+        assert WORKLOADS.fingerprint("mutex") in cache_key(spec)
         assert cache_key(spec).startswith("mutex-")
+
+    def test_repointing_the_registry_name_changes_the_key(self):
+        # No-alias: the cache key must track the implementation behind
+        # the registry name, not the name alone.
+        from repro.workloads.adapters import MutexWorkload
+        from repro.workloads.registry import WORKLOADS
+
+        spec = mutex_task_spec(HMCConfig.cfg_4link_4gb(), 2)
+        before = cache_key(spec)
+
+        class PatchedMutex(MutexWorkload):
+            version = MutexWorkload.version + "-patched"
+
+        WORKLOADS.register(PatchedMutex, replace=True)
+        try:
+            assert cache_key(spec) != before
+        finally:
+            WORKLOADS.register(MutexWorkload, replace=True)
+        assert cache_key(spec) == before
 
     def test_thread_count_is_part_of_the_key(self):
         cfg = HMCConfig.cfg_4link_4gb()

@@ -118,6 +118,37 @@ def test_vector_containment_exempts_composition(tmp_path: Path) -> None:
     assert diags == []
 
 
+def test_workload_classes_are_contained() -> None:
+    lint = _load_lint()
+    diags = lint.run_workload_containment()
+    assert diags == [], "\n".join(diags)
+
+
+def test_workload_containment_flags_a_planted_violation(tmp_path: Path) -> None:
+    """A module naming a concrete frontend class is caught."""
+    lint = _load_lint()
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        "from repro.workloads.adapters import MutexWorkload\n"
+        "from repro.workloads.graph import CounterGraphWorkload, TaskGraph\n"
+        "from repro.workloads.registry import WORKLOADS  # the seam: allowed\n"
+    )
+    diags = lint.run_workload_containment(tmp_path)
+    assert len(diags) == 2, "\n".join(diags)
+    assert any("MutexWorkload" in d for d in diags)
+    assert any("CounterGraphWorkload" in d for d in diags)
+    assert not any("TaskGraph" in d for d in diags)
+
+
+def test_workload_containment_exempts_the_catalog(tmp_path: Path) -> None:
+    """The allow-list actually exempts the composition root."""
+    lint = _load_lint()
+    allowed = tmp_path / "catalog.py"
+    allowed.write_text("from repro.workloads.adapters import MutexWorkload\n")
+    diags = lint.run_workload_containment(tmp_path, allowed=(allowed,))
+    assert diags == []
+
+
 def test_lint_script_runs_standalone() -> None:
     import subprocess
 

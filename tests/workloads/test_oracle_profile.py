@@ -1,0 +1,69 @@
+"""The oracle's ``trace`` profile: recorded runs as differential input.
+
+``trace_from_workload`` converts a recorded workload trace into an
+oracle fuzz trace, so the *same* request stream that drove the real
+datapath re-executes against the functional reference.  The whole
+point is that a clean recording must produce zero mismatches — on both
+configurations — and that the conversion reconstructs initial state
+through the workload registry rather than trusting the trace body.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hmc.config import HMCConfig
+from repro.oracle.differ import run_trace
+from repro.oracle.workload_traces import trace_from_workload
+from repro.workloads.replay import record_workload
+from repro.workloads.tracefmt import WorkloadTrace
+
+
+def _recorded(cfg_name="cfg_4link_4gb", threads=3):
+    cfg = getattr(HMCConfig, cfg_name)()
+    _, trace = record_workload("mutex", cfg, {"threads": threads})
+    return trace
+
+
+@pytest.mark.parametrize("cfg_name", ["cfg_4link_4gb", "cfg_8link_8gb"])
+def test_recorded_mutex_run_passes_the_differ(cfg_name):
+    wtrace = _recorded(cfg_name)
+    oracle_trace = trace_from_workload(wtrace)
+    result = run_trace(oracle_trace)
+    assert result.ok, "\n".join(m.describe() for m in result.mismatches)
+
+
+def test_conversion_carries_the_request_stream():
+    wtrace = _recorded()
+    oracle_trace = trace_from_workload(wtrace, seed=5)
+    assert len(oracle_trace.requests) == len(wtrace.requests)
+    assert oracle_trace.seed == 5
+    assert oracle_trace.profile == "trace"
+    assert oracle_trace.cmc_modules == wtrace.cmc_modules
+    # Preloads come from the registry's prepare, covering the declared
+    # footprint (the mutex lock word).
+    assert oracle_trace.preloads
+    assert oracle_trace.check_ranges
+
+
+def test_conversion_preserves_recorded_links():
+    wtrace = _recorded()
+    links = {t.tid: t.link for t in wtrace.threads}
+    by_tid = {}
+    for wreq, oreq in zip(wtrace.requests, trace_from_workload(wtrace).requests):
+        by_tid.setdefault(wreq.tid, set()).add(oreq.link)
+    for tid, used in by_tid.items():
+        assert used == {links[tid]}
+
+
+def test_unknown_config_is_rejected():
+    wtrace = _recorded()
+    wtrace.config_name = "3link_2gb"
+    with pytest.raises(WorkloadError, match="unknown config"):
+        trace_from_workload(wtrace)
+
+
+def test_empty_trace_is_rejected():
+    with pytest.raises(WorkloadError, match="no requests"):
+        trace_from_workload(WorkloadTrace(config_name="4link_4gb"))

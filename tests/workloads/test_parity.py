@@ -1,0 +1,122 @@
+"""Kernel digest parity: registry adapters vs legacy entrypoints.
+
+The adapters delegate to the legacy runners, so registry-resolved runs
+are bit-identical by construction — this suite pins that contract
+against drift: every kernel, both shipped configurations, full stats
+equality (the stats objects are dataclasses, so ``==`` covers every
+field, including cycle counts and verification flags).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hmc.config import HMCConfig
+from repro.workloads.registry import WORKLOADS
+
+#: Reduced parameters per kernel (the defaults are CLI-sized; these
+#: keep 18 runs tier-1 fast while still exercising contention).
+PARAMS = {
+    "mutex": {"threads": 4},
+    "ticket": {"threads": 4},
+    "stream": {"threads": 4, "blocks_per_thread": 2},
+    "gups": {"threads": 4, "updates_per_thread": 8, "table_entries": 64},
+    "bfs": {"threads": 4, "vertices": 32, "degree": 3},
+    "hist": {"threads": 4, "samples_per_thread": 8, "bins": 8},
+    "chase": {"length": 16},
+    "barrier": {"threads": 4, "rounds": 2},
+    "sssp": {"threads": 4, "vertices": 32, "degree": 3},
+}
+
+
+def _legacy_run(name: str, cfg: HMCConfig, p: dict):
+    """The pre-seam entrypoint call for each kernel, verbatim."""
+    if name == "mutex":
+        from repro.host.kernels.mutex_kernel import run_mutex_workload
+
+        return run_mutex_workload(cfg, p["threads"])
+    if name == "ticket":
+        from repro.host.kernels.ticket_kernel import run_ticket_workload
+
+        return run_ticket_workload(cfg, p["threads"])
+    if name == "stream":
+        from repro.host.kernels.stream import run_stream_triad
+
+        return run_stream_triad(
+            cfg, num_threads=p["threads"], blocks_per_thread=p["blocks_per_thread"]
+        )
+    if name == "gups":
+        from repro.host.kernels.gups import run_gups
+
+        return run_gups(
+            cfg,
+            num_threads=p["threads"],
+            updates_per_thread=p["updates_per_thread"],
+            table_entries=p["table_entries"],
+        )
+    if name == "bfs":
+        from repro.host.kernels.bfs import run_bfs
+
+        return run_bfs(
+            cfg,
+            num_vertices=p["vertices"],
+            avg_degree=p["degree"],
+            num_threads=p["threads"],
+        )
+    if name == "hist":
+        from repro.host.kernels.histogram import run_histogram
+
+        return run_histogram(
+            cfg,
+            num_threads=p["threads"],
+            samples_per_thread=p["samples_per_thread"],
+            num_bins=p["bins"],
+        )
+    if name == "chase":
+        from repro.host.kernels.pointer_chase import run_pointer_chase
+
+        return run_pointer_chase(cfg, length=p["length"])
+    if name == "barrier":
+        from repro.host.kernels.barrier import run_barrier_workload
+
+        return run_barrier_workload(cfg, p["threads"], rounds=p["rounds"])
+    if name == "sssp":
+        from repro.host.kernels.sssp import run_sssp
+
+        return run_sssp(
+            cfg,
+            num_vertices=p["vertices"],
+            avg_degree=p["degree"],
+            num_threads=p["threads"],
+        )
+    raise AssertionError(f"no legacy runner for {name!r}")
+
+
+@pytest.mark.parametrize("cfg_name", ["cfg_4link_4gb", "cfg_8link_8gb"])
+@pytest.mark.parametrize("name", sorted(PARAMS))
+def test_registry_run_matches_legacy_entrypoint(name, cfg_name):
+    cfg = getattr(HMCConfig, cfg_name)()
+    legacy = _legacy_run(name, cfg, PARAMS[name])
+    via_registry = WORKLOADS.get(name).run(cfg, PARAMS[name])
+    assert via_registry == legacy
+
+
+@pytest.mark.parametrize("name", sorted(PARAMS))
+def test_format_stats_renders_one_line(name):
+    cfg = HMCConfig.cfg_4link_4gb()
+    frontend = WORKLOADS.get(name)
+    stats = frontend.run(cfg, PARAMS[name])
+    line = frontend.format_stats(stats)
+    assert isinstance(line, str) and line and "\n" not in line
+    assert cfg.describe() in line
+
+
+def test_cli_variant_params_resolve_for_every_cli_kernel():
+    # The kernel subcommand trusts cli_variants to produce valid
+    # parameter dicts; reject-unknown-keys must accept them all.
+    for name in WORKLOADS.keys(kind="kernel"):
+        frontend = WORKLOADS.get(name)
+        if not frontend.cli_kernel:
+            continue
+        for variant in frontend.cli_variants(4):
+            frontend.resolve_params(variant)
