@@ -10,7 +10,8 @@ Installed as ``hmcsim-repro`` (also ``python -m repro``):
 * ``hmcsim-repro trace record|replay|convert`` — capture a workload
   run as a versioned JSONL trace and replay it (see
   ``docs/WORKLOADS.md``).
-* ``hmcsim-repro graph counter|pipeline`` — run a task-graph workload.
+* ``hmcsim-repro graph counter|pipeline|kvstore`` — run a task-graph
+  workload.
 * ``hmcsim-repro fuzz --seeds 64 --shrink`` — differential-fuzz the
   datapath against the functional oracle (see ``docs/CORRECTNESS.md``);
   ``--trace run.jsonl`` replays a recorded workload trace through the
@@ -288,6 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop offered rate in requests/cycle (default 4.0)",
     )
     p_replay.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="open-loop in-flight target: gate injection on N outstanding "
+        "requests instead of --rate (deep-queue regime)",
+    )
+    p_replay.add_argument(
         "--config", choices=["4link", "8link"], default=None,
         help="override the trace header's configuration",
     )
@@ -319,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_open.add_argument("--rate", type=float, default=8.0, help="requests/cycle")
     p_open.add_argument("--duration", type=int, default=256)
+    p_open.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="in-flight target: gate injection on N outstanding requests "
+        "instead of --rate (which then only sizes the stream)",
+    )
     p_open.add_argument("--pattern", choices=["uniform", "stride"], default="uniform")
     p_open.add_argument("--config", choices=["4link", "8link"], default="4link")
     _add_component_arg(p_open)
@@ -357,9 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--profile", default="all",
-        help="traffic profile, or 'all' to rotate mixed/cmc/spec/faulty "
-        "by seed (default all); 'trace' replays a recorded workload "
-        "trace (requires --trace)",
+        help="traffic profile, or 'all' to rotate "
+        "mixed/cmc/spec/faulty/deep_queue by seed (default all); "
+        "'trace' replays a recorded workload trace (requires --trace)",
     )
     p_fuzz.add_argument(
         "--trace", metavar="PATH", dest="trace_path", default=None,
@@ -467,7 +478,11 @@ def _cmd_openloop(args, out) -> int:
 
     cfg = _configs(args.config, args.components)[0]
     s = run_open_loop(
-        cfg, offered_rate=args.rate, duration=args.duration, pattern=args.pattern
+        cfg,
+        offered_rate=args.rate,
+        duration=args.duration,
+        pattern=args.pattern,
+        depth=args.depth,
     )
     _write_openloop(s, out)
     return 0
@@ -485,11 +500,16 @@ def _cmd_chase(args, out) -> int:
 
 
 def _write_openloop(s, out) -> None:
+    if s.depth is not None:
+        offered = f"depth {s.depth}"
+        knee = "queue-gated"
+    else:
+        offered = f"offered {s.offered_rate}/cyc"
+        knee = "SATURATED" if s.saturated else "below the knee"
     out.write(
-        f"{s.config_name} open-loop {s.pattern}: offered {s.offered_rate}/cyc, "
+        f"{s.config_name} open-loop {s.pattern}: {offered}, "
         f"achieved {s.achieved_rate:.2f}/cyc, mean latency "
-        f"{s.mean_latency:.1f} cyc, p99 {s.p99_latency} cyc, "
-        f"{'SATURATED' if s.saturated else 'below the knee'}\n"
+        f"{s.mean_latency:.1f} cyc, p99 {s.p99_latency} cyc, {knee}\n"
     )
 
 
@@ -540,7 +560,7 @@ def _cmd_trace(args, out) -> int:
         )
         cfg = _configs(base, args.components)[0]
     if args.mode == "open":
-        s = replay_open_loop(trace, config=cfg, rate=args.rate)
+        s = replay_open_loop(trace, config=cfg, rate=args.rate, depth=args.depth)
         _write_openloop(s, out)
         return 0
     rs = replay_trace(trace, config=cfg)
@@ -631,10 +651,10 @@ def _cmd_info(out) -> int:
     return 0
 
 
-#: ``fuzz --profile all`` rotation: every 4 consecutive seeds cover the
-#: full command mix, CMC-heavy traffic, the spec-only mix, and a run
-#: under an oracle-exact fault plan.
-_FUZZ_ROTATION = ("mixed", "cmc", "spec", "faulty")
+#: ``fuzz --profile all`` rotation: every 5 consecutive seeds cover the
+#: full command mix, CMC-heavy traffic, the spec-only mix, a run under
+#: an oracle-exact fault plan, and the deep-queue burst shape.
+_FUZZ_ROTATION = ("mixed", "cmc", "spec", "faulty", "deep_queue")
 
 
 def _cmd_fuzz(args, out) -> int:

@@ -28,7 +28,7 @@ A thin functional facade with the original C names lives in
 from __future__ import annotations
 
 from dataclasses import replace as _cfg_replace
-from typing import IO, Dict, Optional, Set, Tuple, Union
+from typing import IO, Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.cmc import CMCOperation, CMCRegistry
 from repro.core.loader import load_cmc as _load_cmc_plugin
@@ -306,6 +306,30 @@ class HMCSim:
             if self.config.check_crc:
                 rsp.verify_crc()
         return rsp
+
+    def recv_batch(self, *, dev: int = 0, link: int = 0) -> List[ResponsePacket]:
+        """Collect *every* retired response on a device link, oldest first.
+
+        Equivalent to calling :meth:`recv` until it returns ``None``,
+        in one pass: the link's whole retire buffer moves out as a
+        list, counters advance by the batch size, and every tag is
+        discharged.  This is the batched host-side retirement path —
+        one call per link per cycle instead of one call per response.
+        """
+        self._check_init()
+        retired = self.devices[dev].links[link].retired
+        if not retired:
+            return []
+        out = list(retired)
+        retired.clear()
+        self.recvd_rsps += len(out)
+        discard = self._outstanding.discard
+        check_crc = self.config.check_crc
+        for rsp in out:
+            discard((rsp.cub << 11) | rsp.tag)
+            if check_crc:
+                rsp.verify_crc()
+        return out
 
     # -- time (hmcsim_clock) -----------------------------------------------------
 

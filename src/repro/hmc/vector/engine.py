@@ -53,14 +53,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.hmc.commands import COMMAND_TABLE_LIST, CommandKind
-from repro.hmc.vault import process_rqst
+from repro.hmc.vector.batch import BatchExecutor
 from repro.hmc.vector.flight_table import (
-    F_BANK,
     F_INJECT,
-    F_QUAD,
-    F_ROW,
+    F_ROUTE,
     F_SRC_LINK,
-    F_VAULT,
+    PHASE_VAULT as _PHASE_VAULT,
+    PHASE_XBAR as _PHASE_XBAR,
     FlightTable,
 )
 from repro.hmc.xbar import Flight, XBar
@@ -73,6 +72,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["VectorXBar"]
 
 _FLOW = CommandKind.FLOW
+#: Per-command-code FLOW test, hoisted out of the inject hot path.
+_IS_FLOW = tuple(info.kind is _FLOW for info in COMMAND_TABLE_LIST)
 
 _SCALAR, _UNDECIDED, _VECTOR = 0, 1, 2
 _MODE_NAMES = ("scalar", "undecided", "vector")
@@ -98,6 +99,9 @@ class VectorXBar(XBar):
             quad=0,
             origin_dev=dev,
         )
+        # The columnar vault phase: plans queue bookkeeping in scalar
+        # order, executes deferred rows as batched numpy passes.
+        self._batch = BatchExecutor(self, self._scratch)
 
     # -- mode machine ----------------------------------------------------------
 
@@ -190,19 +194,41 @@ class VectorXBar(XBar):
         if n > q.depth:
             q.stalls += 1
             return False
-        local = pkt.addr & device._cap_mask
+        addr = pkt.addr
+        local = addr & device._cap_mask
         vault = (local >> device._vault_lo) & device._vault_mask
-        idx = self._table.alloc(
-            pkt,
+        # FlightTable.alloc, inlined: the send path is the hottest
+        # per-request code in the engine, and the call plus argument
+        # packing is measurable at depth.
+        table = self._table
+        free = table._free
+        if not free:
+            table._grow()
+            free = table._free
+        idx = free.pop()
+        seq = table._seq
+        table._seq = seq + 1
+        cmd = pkt.cmd
+        table.meta[idx] = (
+            pkt.tag,
+            pkt.cub,
             vault,
             (local >> device._bank_lo) & device._bank_mask,
             device._quads_of_vaults[vault],
             (local >> device._row_lo) & device._row_mask,
-            1 + len(pkt.data) // 16,
-            link,
+            _PHASE_XBAR,
             cycle,
-            -1 if COMMAND_TABLE_LIST[pkt.cmd].kind is _FLOW else vault,
+            1 + len(pkt.data) // 16,
+            cmd,
+            link,
+            seq,
+            cycle,
+            -1 if _IS_FLOW[cmd] else vault,
+            addr,
         )
+        table.phase[idx] = _PHASE_XBAR
+        table.pkts[idx] = pkt
+        table.active += 1
         q._q.append(idx)
         q.pushes += 1
         if n > q.high_water:
@@ -218,7 +244,7 @@ class VectorXBar(XBar):
             self._spill(device)
             return False
         self._retire_phase(device, cycle)
-        self._vault_phase(device, cycle)
+        self._batch.vault_phase(device, cycle)
         self._drain_phase(device, cycle)
         return True
 
@@ -238,109 +264,18 @@ class VectorXBar(XBar):
             if not dq:
                 continue
             n = min(rate, len(dq))
+            retired = link.retired
+            flits = 0
             for _ in range(n):
                 rsp = dq.popleft()
-                q.pops += 1
                 rsp.retire_cycle = cycle
-                link.retire(rsp)
+                retired.append(rsp)
+                flits += 1 + len(rsp.data) // 16
+            q.pops += n
+            link.rsps_out += n
+            link.flits_out += flits
             self.rsp_occ -= n
             device.retired_rsps += n
-
-    def _vault_phase(self, device: "Device", cycle: int) -> None:
-        # Scalar twin: Device._phase_vault_execute driving
-        # FIFOVaultScheduler.scan (the static gate pins the fifo
-        # policy), with the baseline no-timing _occupy inlined.
-        active = device._active_vaults
-        if not active:
-            return
-        vaults = device.vaults
-        rate = device.config.vault_rsp_rate
-        table = self._table
-        pkts = table.pkts
-        item = table.item
-        scratch = self._scratch
-        rsp_queues = self.rsp_queues
-        for index in sorted(active):
-            vault = vaults[index]
-            if not vault.flush_pending(device, cycle):
-                continue
-            queue = vault.rqst_queue
-            dq = queue._q
-            n0 = len(dq)
-            budget = rate
-            visited = 0
-            kept = 0
-            while visited < n0:
-                if budget <= 0:
-                    # Response port exhausted; the rest wait in place.
-                    if kept:
-                        dq.rotate(kept)
-                    break
-                idx = dq[0]
-                row = item(idx)
-                bank = vault.banks[row[F_BANK]]
-                if cycle < bank.busy_until:
-                    # Only reachable via restored bank state: the
-                    # baseline occupancy below never leaves a bank
-                    # busy past its own cycle.
-                    bank.conflicts += 1
-                    vault.bank_conflicts += 1
-                    dq.rotate(-1)
-                    kept += 1
-                    visited += 1
-                    continue
-                # _occupy, baseline model: completes within the cycle.
-                bank.accesses += 1
-                bank.row_hits += 1
-                bank.open_row = -1
-                bank.busy_until = cycle
-
-                pkt = pkts[idx]
-                src = row[F_SRC_LINK]
-                scratch.pkt = pkt
-                scratch.src_link = src
-                scratch.inject_cycle = row[F_INJECT]
-                scratch.vault = row[F_VAULT]
-                scratch.bank = row[F_BANK]
-                scratch.quad = row[F_QUAD]
-                scratch.row = row[F_ROW]
-                scratch.info = COMMAND_TABLE_LIST[pkt.cmd]
-                rsp = process_rqst(device, scratch, cycle)
-
-                if rsp is not None:
-                    rq = rsp_queues[src]
-                    n = len(rq._q) + 1
-                    if n > rq.depth:
-                        # Response path full: park a real Flight so
-                        # Vault.flush_pending retries it unchanged.
-                        rq.stalls += 1
-                        vault.response_stalls += 1
-                        vault._pending_rsp = (
-                            device.route_flight(
-                                pkt, src, row[F_INJECT],
-                                origin_dev=device.dev,
-                            ),
-                            rsp,
-                        )
-                        dq.popleft()
-                        queue.pops += 1
-                        table.free_row(idx)
-                        if kept:
-                            dq.rotate(kept)
-                        break
-                    rq._q.append(rsp)
-                    rq.pushes += 1
-                    if n > rq.high_water:
-                        rq.high_water = n
-                    self.rsp_occ += 1
-                    budget -= 1
-                dq.popleft()
-                queue.pops += 1
-                vault.processed += 1
-                table.free_row(idx)
-                visited += 1
-            if not dq and vault._pending_rsp is None:
-                active.discard(index)
 
     def _drain_phase(self, device: "Device", cycle: int) -> None:
         # Scalar twin: Device._phase_xbar_drain with no flow model and
@@ -352,36 +287,54 @@ class VectorXBar(XBar):
         rqst_queues = self.rqst_queues
         vaults = device.vaults
         table = self._table
-        route_of = table.route
+        meta = table.meta
+        phase = table.phase
         active_vaults = device._active_vaults
+        # Per-row counter updates are batched: queue.pops/rqst_occ per
+        # link after its walk, vault pushes/high-water per touched
+        # vault at the end.  Occupancy grows monotonically during the
+        # drain (the vault phase already ran), so the final length IS
+        # the cycle's high-water mark.
+        pushed: dict = {}
         for link_id in range(self.config.num_links):
             queue = rqst_queues[link_id]
             dq = queue._q
+            npop = 0
+            nflow = 0
             while dq:
                 idx = dq[0]
-                route = route_of(idx)
+                route = meta[idx][F_ROUTE]
                 if route < 0:
                     # Flow packets are consumed at the link layer.
                     dq.popleft()
-                    queue.pops += 1
-                    self.rqst_occ -= 1
-                    device.flow_packets += 1
+                    npop += 1
+                    nflow += 1
                     table.free_row(idx)
                     continue
                 vq = vaults[route].rqst_queue
-                n = len(vq._q) + 1
-                if n > vq.depth:
+                if len(vq._q) >= vq.depth:
                     vq.stalls += 1
                     break
                 dq.popleft()
-                queue.pops += 1
-                self.rqst_occ -= 1
+                npop += 1
                 vq._q.append(idx)
-                vq.pushes += 1
-                if n > vq.high_water:
-                    vq.high_water = n
-                table.mark_vault(idx)
-                active_vaults.add(route)
+                if route in pushed:
+                    pushed[route] += 1
+                else:
+                    pushed[route] = 1
+                phase[idx] = _PHASE_VAULT
+            if npop:
+                queue.pops += npop
+                self.rqst_occ -= npop
+            if nflow:
+                device.flow_packets += nflow
+        for route, k in pushed.items():
+            vq = vaults[route].rqst_queue
+            vq.pushes += k
+            n = len(vq._q)
+            if n > vq.high_water:
+                vq.high_water = n
+            active_vaults.add(route)
 
     # -- raw queue API: decide scalar / spill on first touch -------------------
     # The request-side accessors hand out Flight objects; a driver (or

@@ -1,28 +1,32 @@
-"""Structured-array flight table: in-flight requests as numpy rows.
+"""Flight table: in-flight requests as columnar rows plus sidecars.
 
 One row per in-flight request packet.  The columns hold everything the
 datapath needs to route and execute the request — the decoded address
-(vault/bank/quad/row), the command code (an index into
-``COMMAND_TABLE_LIST``), the link and cycle it arrived on, a global
-allocation sequence number (the FIFO tie-breaker), and a phase tag —
-so the per-cycle engine never touches the Python packet object until
-the request actually executes.  The packet itself (and with it the CMC
-payload, data, and wire encoding) lives in the parallel ``pkts``
-sidecar list under the same index.
+(vault/bank/quad/row), the raw request address, the command code (an
+index into ``COMMAND_TABLE_LIST``), the link and cycle it arrived on, a
+global allocation sequence number (the FIFO tie-breaker), and a phase
+tag — so the per-cycle engine never touches the Python packet object
+until the request actually executes.  The packet itself (and with it
+the CMC payload, data, and wire encoding) lives in the parallel
+``pkts`` sidecar list under the same index.
 
 Hot-path access pattern, chosen after measuring per-element structured
 access costs:
 
-* allocation writes the whole row with **one** tuple assignment,
-* execution reads the whole row back with **one** ``.item()`` call
-  (a plain Python tuple — field indices are the ``F_*`` constants),
-* the crossbar drain reads only the precomputed ``route`` column
-  (``-1`` marks FLOW packets, consumed at the crossbar like the
-  scalar engine does).
+* allocation stores the whole row as **one** plain tuple (``meta``
+  sidecar) — numpy structured scalar writes cost ~1µs/row, an order
+  of magnitude more than a list store, so the hot path never touches
+  the array;
+* execution reads the row back by plain list index — field positions
+  are the ``F_*`` constants;
+* phase transitions write one int into the ``phase`` sidecar.
 
-Bulk operations — spill ordering, snapshots for tests and the
-invariant checker — use masked column selections and a stable argsort
-on ``seq``, which is where the structured array pays for itself.
+Bulk operations — snapshots for tests, the invariant checker, spill
+audits — materialize the ``ROW_DTYPE`` structured array on demand via
+:meth:`FlightTable.to_array`, which is where numpy still pays: one
+vectorized build per snapshot instead of per-row bookkeeping per
+cycle.  The batch executor's columnar passes work on the *memory*
+arrays (see :mod:`repro.hmc.vector.batch`), not on this table.
 """
 
 from __future__ import annotations
@@ -50,11 +54,12 @@ __all__ = [
     "F_SEQ",
     "F_INJECT",
     "F_ROUTE",
+    "F_ADDR",
 ]
 
 #: Row lifecycle: free slot -> queued in a crossbar link -> queued in a
 #: vault.  The authoritative position is the queue holding the index;
-#: the phase column exists for snapshots, spill audits, and tests.
+#: the phase sidecar exists for snapshots, spill audits, and tests.
 PHASE_FREE, PHASE_XBAR, PHASE_VAULT = 0, 1, 2
 
 ROW_DTYPE = np.dtype(
@@ -73,6 +78,7 @@ ROW_DTYPE = np.dtype(
         ("seq", np.int64),  # global allocation order: the FIFO tie-breaker
         ("inject_cycle", np.int64),
         ("route", np.int16),  # target vault, or -1 for FLOW packets
+        ("addr", np.int64),  # raw request address (34-bit, unmasked)
     ]
 )
 
@@ -92,59 +98,41 @@ ROW_DTYPE = np.dtype(
     F_SEQ,
     F_INJECT,
     F_ROUTE,
+    F_ADDR,
 ) = range(len(ROW_DTYPE.names))
 
 
 class FlightTable:
     """Fixed-capacity (doubling) pool of flight rows plus packet sidecar."""
 
-    __slots__ = (
-        "rows",
-        "pkts",
-        "active",
-        "_free",
-        "_seq",
-        "_phase_col",
-        "_seq_col",
-        "_route_col",
-        "_tag_col",
-        "_cub_col",
-    )
+    __slots__ = ("meta", "pkts", "phase", "active", "_free", "_seq")
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("flight table capacity must be >= 1")
-        self.rows = np.zeros(capacity, dtype=ROW_DTYPE)
+        #: Whole row as one plain tuple per live index (``F_*`` order).
+        self.meta: List[Optional[Tuple]] = [None] * capacity
         self.pkts: List[Optional[object]] = [None] * capacity
+        #: Current lifecycle phase per index (authoritative; the tuple's
+        #: ``F_PHASE`` slot records only the phase at allocation).
+        self.phase: List[int] = [PHASE_FREE] * capacity
         #: Number of live (non-free) rows.
         self.active = 0
         # LIFO free list: hot reuse keeps the working set of row
         # indices small and cache-warm.
         self._free = list(range(capacity - 1, -1, -1))
         self._seq = 0
-        self._refresh_views()
-
-    def _refresh_views(self) -> None:
-        # Column views survive in-place writes but not reallocation;
-        # refreshed after every grow.
-        self._phase_col = self.rows["phase"]
-        self._seq_col = self.rows["seq"]
-        self._route_col = self.rows["route"]
-        self._tag_col = self.rows["tag"]
-        self._cub_col = self.rows["cub"]
 
     def _grow(self) -> None:
-        old = len(self.rows)
-        rows = np.zeros(old * 2, dtype=ROW_DTYPE)
-        rows[:old] = self.rows
-        self.rows = rows
+        old = len(self.meta)
+        self.meta.extend([None] * old)
         self.pkts.extend([None] * old)
+        self.phase.extend([PHASE_FREE] * old)
         self._free.extend(range(old * 2 - 1, old - 1, -1))
-        self._refresh_views()
 
     @property
     def capacity(self) -> int:
-        return len(self.rows)
+        return len(self.meta)
 
     def alloc(
         self,
@@ -164,8 +152,7 @@ class FlightTable:
         idx = self._free.pop()
         seq = self._seq
         self._seq = seq + 1
-        # One structured assignment for the whole row.
-        self.rows[idx] = (
+        self.meta[idx] = (
             pkt.tag,
             pkt.cub,
             vault,
@@ -180,55 +167,77 @@ class FlightTable:
             seq,
             cycle,
             route,
+            pkt.addr,
         )
+        self.phase[idx] = PHASE_XBAR
         self.pkts[idx] = pkt
         self.active += 1
         return idx
 
     def item(self, idx: int) -> Tuple:
         """The whole row as a plain Python tuple (``F_*`` indices)."""
-        return self.rows[idx].item()
+        return self.meta[idx]
 
     def route(self, idx: int) -> int:
         """Target vault of ``idx``, or -1 for a FLOW packet."""
-        return int(self._route_col[idx])
+        return self.meta[idx][F_ROUTE]
 
     def cub_tag(self, idx: int) -> Tuple[int, int]:
         """``(cub, tag)`` of a live row (the invariant checker's view)."""
-        return int(self._cub_col[idx]), int(self._tag_col[idx])
+        values = self.meta[idx]
+        return values[F_CUB], values[F_TAG]
 
     def mark_vault(self, idx: int) -> None:
-        self._phase_col[idx] = PHASE_VAULT
+        self.phase[idx] = PHASE_VAULT
 
     def free_row(self, idx: int) -> None:
         """Release a row back to the pool."""
-        self._phase_col[idx] = PHASE_FREE
+        self.phase[idx] = PHASE_FREE
         self.pkts[idx] = None
+        self.meta[idx] = None
         self._free.append(idx)
         self.active -= 1
 
     def active_indices(self) -> np.ndarray:
         """Live row indices in allocation (seq) order — stable FIFO."""
-        idx = np.flatnonzero(self._phase_col != PHASE_FREE)
-        if idx.size > 1:
-            idx = idx[np.argsort(self._seq_col[idx], kind="stable")]
-        return idx
+        phase = self.phase
+        meta = self.meta
+        live = sorted(
+            (i for i in range(len(meta)) if phase[i] != PHASE_FREE),
+            key=lambda i: meta[i][F_SEQ],
+        )
+        return np.asarray(live, dtype=np.intp)
+
+    def to_array(self) -> np.ndarray:
+        """Live rows as a fresh ``ROW_DTYPE`` array in seq order."""
+        idx = self.active_indices()
+        out = np.zeros(len(idx), dtype=ROW_DTYPE)
+        meta = self.meta
+        phase = self.phase
+        for j, i in enumerate(idx):
+            values = meta[i]
+            out[j] = values[:F_PHASE] + (phase[i],) + values[F_PHASE + 1 :]
+        return out
 
     def snapshot(self) -> List[dict]:
         """Live rows as dicts in seq order (tests, debugging, export)."""
         names = ROW_DTYPE.names
+        meta = self.meta
+        phase = self.phase
         out = []
-        for idx in self.active_indices():
-            values = self.rows[idx].item()
+        for i in self.active_indices():
+            values = meta[i]
             doc = dict(zip(names, (int(v) for v in values)))
-            doc["index"] = int(idx)
+            doc["phase"] = phase[i]
+            doc["index"] = int(i)
             out.append(doc)
         return out
 
     def clear(self) -> None:
         """Release every row (after a spill to the scalar path)."""
-        self.rows["phase"] = PHASE_FREE
-        cap = len(self.rows)
+        cap = len(self.meta)
+        self.meta = [None] * cap
         self.pkts = [None] * cap
+        self.phase = [PHASE_FREE] * cap
         self._free = list(range(cap - 1, -1, -1))
         self.active = 0

@@ -36,6 +36,15 @@ __all__ = ["HostEngine", "EngineResult", "ThreadResult"]
 _BY_TID = attrgetter("tid")
 
 
+def _recv_iter(sim, dev, link):
+    """One-at-a-time drain of a link (the unbatched retirement path)."""
+    while True:
+        rsp = sim.recv(dev=dev, link=link)
+        if rsp is None:
+            return
+        yield rsp
+
+
 @dataclass(frozen=True)
 class ThreadResult:
     """Completion record for one simulated thread."""
@@ -109,10 +118,17 @@ class HostEngine:
         max_cycles: int = 1_000_000,
         watchdog: Optional[TagWatchdog] = None,
         invariants: Union[bool, InvariantChecker, None] = None,
+        batched: bool = True,
     ):
         self.sim = sim
         self.max_cycles = max_cycles
         self.watchdog = watchdog
+        #: Batched host-side retirement: drain each link's whole retire
+        #: buffer with one ``recv_batch`` call per cycle instead of one
+        #: ``recv`` round-trip per response.  Identical semantics (the
+        #: parity tests pin per-thread completion cycles); ``False``
+        #: keeps the one-at-a-time path for those comparisons.
+        self.batched = batched
         if invariants is True:
             invariants = InvariantChecker(sim)
         elif invariants is False:
@@ -243,6 +259,7 @@ class HostEngine:
         wd = self.watchdog
         checker = self.invariants
         resilient = self.resilient
+        batched = self.batched
         while live:
             cyc = sim.cycle
             if cyc >= deadline:
@@ -274,16 +291,34 @@ class HostEngine:
             # Phase 2: one device cycle.
             sim.clock()
             cyc = sim.cycle
-            # Phase 3: drain responses, resume threads, same-cycle reissue.
+            # Phase 3: drain responses, resume threads, same-cycle
+            # reissue.  Batched mode takes each link's completed
+            # responses as one vector per cycle; the one-at-a-time
+            # recv loop below it is behaviourally identical (responses
+            # only appear during ``sim.clock``, so nothing can land in
+            # the retire buffer mid-drain) and kept for parity tests.
             for dev in range(num_devs):
                 links = sim.devices[dev].links
                 for link in range(num_links):
                     if not links[link].drain_ready():
                         continue
-                    while True:
-                        rsp = sim.recv(dev=dev, link=link)
-                        if rsp is None:
-                            break
+                    if batched:
+                        responses = sim.recv_batch(dev=dev, link=link)
+                    else:
+                        responses = _recv_iter(sim, dev, link)
+                    for rsp in responses:
+                        if batched and resilient:
+                            # The serial path discards the outstanding
+                            # key as each response is popped, so a
+                            # duplicated response arriving *after* a
+                            # same-cycle reissue re-armed the tag
+                            # consumes the reissue's entry.  recv_batch
+                            # discharged the whole vector up front;
+                            # re-discard here or the reissued thread's
+                            # next strict-tag send diverges.
+                            sim._outstanding.discard(
+                                (rsp.cub << 11) | rsp.tag
+                            )
                         thread = by_tag.get(rsp.tag)
                         if thread is None or thread.state is not WAITING:
                             if resilient:

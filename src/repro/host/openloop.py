@@ -70,6 +70,9 @@ class OpenLoopStats:
     backlogged: int
     drain_cycles: int
     latencies: List[int] = field(default_factory=list)
+    #: In-flight target when the run was depth-gated (``--depth``);
+    #: ``None`` for pure rate-driven runs.
+    depth: Optional[int] = None
 
     @property
     def achieved_rate(self) -> float:
@@ -105,6 +108,7 @@ def drive_open_loop(
     duration: int,
     max_drain: int = 100_000,
     link_for: Optional[Callable[[int], int]] = None,
+    depth: Optional[int] = None,
 ) -> OpenLoopStats:
     """Inject ``count`` requests at a fixed rate; fill in ``stats``.
 
@@ -123,6 +127,15 @@ def drive_open_loop(
         max_drain: drain-phase safety bound.
         link_for: link choice per stream index; round-robin over the
             config's links when omitted.
+        depth: when set, ignore ``offered_rate``/``duration`` and gate
+            injection on the in-flight population instead: every cycle,
+            top the outstanding count back up to ``depth`` (stopping at
+            a stall — the queues are full past this point anyway) until
+            the stream is exhausted, then drain.  This is the deep-queue
+            regime: a stall is back-pressure, not a lost slot, so only
+            genuine queue refusals count as ``backlogged``.
+            ``stats.duration`` is rewritten to the *measured* injection
+            window so ``achieved_rate`` stays honest.
     """
     num_links = sim.config.num_links
     free_tags = list(range(0x800))
@@ -134,38 +147,62 @@ def drive_open_loop(
 
     def drain_responses() -> None:
         for link in range(num_links):
-            while True:
-                rsp = sim.recv(link=link)
-                if rsp is None:
-                    break
+            for rsp in sim.recv_batch(link=link):
                 stats.completed += 1
                 stats.latencies.append(sim.cycle - inject_cycle.pop(rsp.tag))
                 free_tags.append(rsp.tag)
 
-    for _ in range(duration):
-        credit += offered_rate
-        while credit >= 1.0 and idx < count:
-            credit -= 1.0
-            if not free_tags:
-                stats.backlogged += 1
-                continue
-            tag = free_tags.pop()
-            pkt = build(idx, tag)
-            link = link_rr if link_for is None else link_for(idx)
-            status = sim.send(pkt, link=link)
-            if status is HMCStatus.STALL:
-                free_tags.append(tag)
-                stats.backlogged += 1
-            else:
+    if depth is not None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        window = 0
+        while idx < count and window < max_drain:
+            while len(inject_cycle) < depth and idx < count and free_tags:
+                tag = free_tags.pop()
+                pkt = build(idx, tag)
+                link = link_rr if link_for is None else link_for(idx)
+                status = sim.send(pkt, link=link)
+                if status is HMCStatus.STALL:
+                    free_tags.append(tag)
+                    stats.backlogged += 1
+                    break
                 if sim._expects_response(pkt):
                     inject_cycle[tag] = sim.cycle
                 else:
                     free_tags.append(tag)  # posted: nothing to await
                 stats.injected += 1
                 idx += 1
-            link_rr = (link_rr + 1) % num_links
-        sim.clock()
-        drain_responses()
+                link_rr = (link_rr + 1) % num_links
+            sim.clock()
+            drain_responses()
+            window += 1
+        stats.duration = max(1, window)
+        stats.depth = depth
+    else:
+        for _ in range(duration):
+            credit += offered_rate
+            while credit >= 1.0 and idx < count:
+                credit -= 1.0
+                if not free_tags:
+                    stats.backlogged += 1
+                    continue
+                tag = free_tags.pop()
+                pkt = build(idx, tag)
+                link = link_rr if link_for is None else link_for(idx)
+                status = sim.send(pkt, link=link)
+                if status is HMCStatus.STALL:
+                    free_tags.append(tag)
+                    stats.backlogged += 1
+                else:
+                    if sim._expects_response(pkt):
+                        inject_cycle[tag] = sim.cycle
+                    else:
+                        free_tags.append(tag)  # posted: nothing to await
+                    stats.injected += 1
+                    idx += 1
+                link_rr = (link_rr + 1) % num_links
+            sim.clock()
+            drain_responses()
 
     # Drain phase: no new injections.
     drained = 0
@@ -186,18 +223,22 @@ def run_open_loop(
     footprint: int = 1 << 22,
     seed: int = 0xFEED,
     max_drain: int = 100_000,
+    depth: Optional[int] = None,
 ) -> OpenLoopStats:
     """Inject RD16 traffic at a fixed rate and measure latency/throughput.
 
     Args:
         config: device configuration.
         offered_rate: requests per device cycle (fractional rates use a
-            deterministic accumulator).
+            deterministic accumulator).  With ``depth`` set it only
+            sizes the stream (``offered_rate * duration`` requests).
         duration: injection window in cycles; the run then drains.
         pattern: "uniform" scatter or "stride" streaming.
         footprint: byte range the addresses cover.
         seed: pattern seed.
         max_drain: drain-phase safety bound.
+        depth: in-flight target; switches the injector to depth-gated
+            mode (see :func:`drive_open_loop`).
     """
     sim = HMCSim(config)
     total_wanted = int(offered_rate * duration) + 1
@@ -220,4 +261,5 @@ def run_open_loop(
         offered_rate=offered_rate,
         duration=duration,
         max_drain=max_drain,
+        depth=depth,
     )

@@ -115,6 +115,13 @@ class TrafficProfile:
     weights: Tuple[Tuple[str, float], ...]
     cmc_modules: Tuple[str, ...] = ()
     fault_specs: Tuple[str, ...] = ()
+    #: When nonzero, the weighted picks are separated by read-only
+    #: bursts of up to this many requests (uniform in [burst/2, burst]).
+    #: Reads never fence each other in the differ, so each burst piles
+    #: hundreds of requests into the queues before the next weighted
+    #: pick (usually a mutator) forces a drain — the deep-queue regime
+    #: the columnar vault executor is pinned under.
+    burst_reads: int = 0
 
 
 _SPEC_WEIGHTS: Tuple[Tuple[str, float], ...] = (
@@ -162,6 +169,24 @@ PROFILES: Dict[str, TrafficProfile] = {
         weights=_MIXED_WEIGHTS,
         cmc_modules=_ALL_CMC_MODULES,
         fault_specs=_ORACLE_SAFE_FAULTS,
+    ),
+    # Deep-queue shape: long read-only bursts (256+ outstanding between
+    # fences) punctuated by weighted picks.  Atomics keep the columnar
+    # AMO families hot at the fence boundaries; posted writes exercise
+    # the no-response retire path under depth.
+    "deep_queue": TrafficProfile(
+        name="deep_queue",
+        weights=(
+            ("read", 30),
+            ("atomic", 26),
+            ("posted_atomic", 10),
+            ("write", 12),
+            ("posted_write", 10),
+            ("mode", 4),
+            ("wild", 4),
+            ("flow", 4),
+        ),
+        burst_reads=384,
     ),
 }
 
@@ -310,9 +335,18 @@ def generate_trace(
         return cluster.general_base + rng.randrange(span + 1)
 
     requests: List[TraceRequest] = []
+    burst_left = 0
     for idx in range(count):
         tag = idx % (MAX_TAG + 1)
-        category = rng.choices(categories, weights=weights)[0]
+        if prof.burst_reads and burst_left > 0:
+            burst_left -= 1
+            category = "read"
+        else:
+            category = rng.choices(categories, weights=weights)[0]
+            if prof.burst_reads:
+                burst_left = rng.randint(
+                    prof.burst_reads // 2, prof.burst_reads
+                )
         cluster = rng.choice(clusters)
         link = cluster.link
 

@@ -26,7 +26,11 @@ from repro.workloads.adapters import (
     StreamWorkload,
     TicketWorkload,
 )
-from repro.workloads.graph import CounterGraphWorkload, PipelineGraphWorkload
+from repro.workloads.graph import (
+    CounterGraphWorkload,
+    KVStoreGraphWorkload,
+    PipelineGraphWorkload,
+)
 from repro.workloads.registry import WORKLOADS
 from repro.workloads.replay import TraceReplayWorkload
 
@@ -42,6 +46,7 @@ for _frontend in (
     SSSPWorkload,
     TraceReplayWorkload,
     CounterGraphWorkload,
+    KVStoreGraphWorkload,
     PipelineGraphWorkload,
 ):
     WORKLOADS.register(_frontend)

@@ -16,14 +16,18 @@ traffic is real memory traffic — polling latency, link occupancy, and
 hot flag lines all show up in the statistics, exactly as they would
 for a host-side runtime polling device memory.
 
-Two built-in scenarios (registered as ``graph:counter`` and
-``graph:pipeline``):
+Three built-in scenarios (registered as ``graph:counter``,
+``graph:pipeline``, and ``graph:kvstore``):
 
 * **counter** — N incrementer tasks race over a mutex-protected shared
   counter (Algorithm 1 lock/trylock/unlock around a read+write), then
   a final check task reads the total.
 * **pipeline** — producers push values onto a CMC39 linked list; a
   consumer gated on all producers walks the list and folds a sum.
+* **kvstore** — writer tasks fire ``TWOADD8`` upserts at a skewed
+  (hot-key) bucket distribution while reader tasks poll the hot set;
+  an audit task gated on everything folds the table and checks the
+  totals against the deterministic expectation.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ __all__ = [
     "run_task_graph",
     "CounterGraphWorkload",
     "PipelineGraphWorkload",
+    "KVStoreGraphWorkload",
 ]
 
 #: Value written to a task's completion flag.
@@ -441,3 +446,118 @@ class PipelineGraphWorkload(GraphWorkload):
         count, total = self._consumed
         n = params["producers"] * params["items"]
         return count == n and total == n * (n + 1) // 2
+
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_M64 = (1 << 64) - 1
+
+
+class KVStoreGraphWorkload(GraphWorkload):
+    """Hot-key KV store: writers upsert skewed buckets with ``TWOADD8``
+    (value += delta, hits += 1 in one atomic), readers poll the hot
+    set, and an audit task checks the folded totals."""
+
+    name = "graph:kvstore"
+    description = "task graph: hot-key KV store over TWOADD8 upserts"
+    version = "1"
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "writers": 8,
+            "readers": 4,
+            "ops": 48,
+            "buckets": 64,
+            "hot_keys": 4,
+            "table_addr": 1 << 20,
+            "flags_base": 8 << 20,
+            "max_cycles": 2_000_000,
+        }
+
+    def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
+        p = self.resolve_params(params)
+        sim.mem_write(p["table_addr"], bytes(p["buckets"] * 16))
+
+    def footprint(self, config: HMCConfig, params: Dict[str, Any]) -> Footprint:
+        p = self.resolve_params(params)
+        tasks = p["writers"] + p["readers"] + 2
+        return (
+            (p["table_addr"], p["buckets"] * 16),
+            (p["flags_base"], tasks * _FLAG_STRIDE),
+        )
+
+    @staticmethod
+    def _key_stream(seed: int, count: int, buckets: int, hot: int) -> List[int]:
+        """Deterministic skewed key picks: half land in the hot set."""
+        state = (seed * 2 + 1) & _M64
+        keys = []
+        for _ in range(count):
+            state = (state * _LCG_MUL + _LCG_ADD) & _M64
+            if (state >> 8) & 1:
+                keys.append((state >> 16) % max(1, hot))
+            else:
+                keys.append((state >> 16) % buckets)
+        return keys
+
+    def build_graph(self, sim: HMCSim, params: Dict[str, Any]) -> TaskGraph:
+        table = params["table_addr"]
+        buckets = params["buckets"]
+        hot = params["hot_keys"]
+        ops = params["ops"]
+        graph = TaskGraph()
+        self._audit: Optional[Tuple[int, int]] = None
+
+        # Expected fold, from the same deterministic key streams the
+        # writers replay: TWOADD8 is atomic in-situ, so the totals are
+        # exact no matter how the upserts interleave.
+        expect_value = 0
+        expect_hits = params["writers"] * ops
+
+        def writer(seed: int, keys: List[int]) -> TaskBody:
+            def body(ctx: ThreadCtx) -> Program:
+                for i, key in enumerate(keys):
+                    delta = seed * ops + i + 1
+                    yield ctx.request(
+                        hmc_rqst_t.TWOADD8,
+                        table + key * 16,
+                        data=delta.to_bytes(8, "little")
+                        + (1).to_bytes(8, "little"),
+                    )
+
+            return body
+
+        writer_names = []
+        for w in range(params["writers"]):
+            keys = self._key_stream(w, ops, buckets, hot)
+            expect_value += sum(w * ops + i + 1 for i in range(ops))
+            name = f"write{w}"
+            writer_names.append(name)
+            graph.add(name, writer(w, keys))
+
+        def reader(seed: int) -> TaskBody:
+            def body(ctx: ThreadCtx) -> Program:
+                for key in self._key_stream(0x5EED + seed, ops, hot, hot):
+                    yield ctx.read(table + key * 16, 16)
+
+            return body
+
+        reader_names = []
+        for r in range(params["readers"]):
+            name = f"read{r}"
+            reader_names.append(name)
+            graph.add(name, reader(r))
+
+        def audit(ctx: ThreadCtx) -> Program:
+            value = hits = 0
+            for b in range(buckets):
+                rsp = yield ctx.read(table + b * 16, 16)
+                value += int.from_bytes(rsp.data[:8], "little")
+                hits += int.from_bytes(rsp.data[8:16], "little")
+            self._audit = (value, hits)
+
+        graph.add("audit", audit, after=tuple(writer_names + reader_names))
+        self._expect = (expect_value, expect_hits)
+        return graph
+
+    def verify(self, sim: HMCSim, params: Dict[str, Any], result: Any) -> bool:
+        return self._audit == self._expect

@@ -265,12 +265,31 @@ def replay_trace(
     )
 
 
+def _replay_warmup(cfg: HMCConfig) -> int:
+    """Pipeline warm-up slack for the open-loop duration estimate.
+
+    ``ceil(len(records) / rate)`` alone covers only the injection slots;
+    it ignores that the first responses trail their requests by the
+    device round trip, and that stalled slots push trailing records past
+    the window.  At high rates that skews the offered-rate stats two
+    ways at once: ``achieved_rate`` divides drain-phase completions by a
+    window that excludes them (overstating throughput far beyond what
+    the links can retire), and records that stall near the end of the
+    too-short window never inject at all.  The slack term bounds the
+    round trip: the four pipeline phases (inject, xbar drain, vault
+    execute, retire) plus worst-case response-queue residency at the
+    link retire rate.
+    """
+    return 4 + math.ceil(cfg.xbar_depth / max(1, cfg.link_rsp_rate))
+
+
 def replay_open_loop(
     trace: WorkloadTrace,
     *,
     config: Optional[HMCConfig] = None,
     rate: float = 4.0,
     max_drain: int = 100_000,
+    depth: Optional[int] = None,
 ) -> OpenLoopStats:
     """Open-loop replay: the recorded stream as rate-driven traffic.
 
@@ -280,6 +299,11 @@ def replay_open_loop(
     round-robin otherwise.  Data-dependent operations will see
     different values than the recording — this is a traffic replay,
     not a semantic one.
+
+    With ``depth`` set, injection is gated on the in-flight population
+    instead of ``rate`` (see :func:`repro.host.openloop.drive_open_loop`)
+    — the whole stream is replayed at a sustained queue depth and the
+    stats record the measured window.
     """
     if not trace.requests:
         raise WorkloadError("trace has no requests to replay")
@@ -302,7 +326,7 @@ def replay_open_loop(
             rec = records[idx]
             return links.get(rec.tid, rec.tid % num_links)
 
-    duration = max(1, math.ceil(len(records) / rate))
+    duration = max(1, math.ceil(len(records) / rate)) + _replay_warmup(cfg)
     stats = OpenLoopStats(
         config_name=cfg.describe(),
         pattern="trace",
@@ -322,6 +346,7 @@ def replay_open_loop(
         duration=duration,
         max_drain=max_drain,
         link_for=link_for,
+        depth=depth,
     )
 
 
@@ -330,7 +355,8 @@ class TraceReplayWorkload(WorkloadFrontend):
 
     Params: ``path`` (a workload-trace JSONL file) or ``trace`` (an
     in-memory :class:`WorkloadTrace`), ``mode`` (``closed``/``open``),
-    ``rate`` (open-loop offered rate), ``max_cycles``.
+    ``rate`` (open-loop offered rate), ``depth`` (open-loop in-flight
+    target; overrides ``rate`` gating), ``max_cycles``.
     """
 
     name = "trace"
@@ -343,6 +369,7 @@ class TraceReplayWorkload(WorkloadFrontend):
             "trace": None,
             "mode": "closed",
             "rate": 4.0,
+            "depth": None,
             "max_cycles": 1_000_000,
         }
 
@@ -380,5 +407,7 @@ class TraceReplayWorkload(WorkloadFrontend):
         p = self.resolve_params(params)
         trace = self._trace(p)
         if p["mode"] == "open":
-            return replay_open_loop(trace, config=config, rate=p["rate"])
+            return replay_open_loop(
+                trace, config=config, rate=p["rate"], depth=p["depth"]
+            )
         return replay_trace(trace, config=config, max_cycles=p["max_cycles"])

@@ -26,13 +26,17 @@ KERNELS = {
     "barrier",
     "sssp",
 }
-OTHERS = {"trace", "graph:counter", "graph:pipeline"}
+OTHERS = {"trace", "graph:counter", "graph:pipeline", "graph:kvstore"}
 
 
 def test_catalog_registers_every_frontend():
     assert set(WORKLOADS.keys()) == KERNELS | OTHERS
     assert set(WORKLOADS.keys(kind="kernel")) == KERNELS
-    assert set(WORKLOADS.keys(kind="graph")) == {"graph:counter", "graph:pipeline"}
+    assert set(WORKLOADS.keys(kind="graph")) == {
+        "graph:counter",
+        "graph:pipeline",
+        "graph:kvstore",
+    }
     assert set(WORKLOADS.keys(kind="trace")) == {"trace"}
 
 

@@ -97,6 +97,54 @@ class TestRoundTrip:
         assert stats.completed == stats.injected  # mutex posts nothing
         assert stats.pattern == "trace"
 
+    def test_duration_estimate_covers_warmup_drain(self):
+        # Regression: the injection window used to be
+        # ``ceil(len / rate)`` alone, which at high offered rates (a)
+        # reported achieved_rate far beyond what the links can
+        # physically retire, because drain-phase completions were
+        # divided by a window that excluded the round trip, and (b)
+        # silently dropped trailing records that stalled near the end
+        # of the too-short window.
+        import math
+
+        from repro.workloads.replay import _replay_warmup
+
+        cfg = HMCConfig.cfg_4link_4gb()
+        trace = WorkloadTrace(
+            config_name="4link_4gb",
+            requests=tuple(
+                TraceRecord(cycle=i, tid=0, cmd="RD16", addr=(i % 64) * 64)
+                for i in range(512)
+            ),
+        )
+        rate = 64.0
+        stats = replay_open_loop(trace, config=cfg, rate=rate)
+        assert stats.duration == math.ceil(512 / rate) + _replay_warmup(cfg)
+        # Every record injects even though the pure-slot window (8
+        # cycles) is shorter than the device round trip.
+        assert stats.injected == 512
+        assert stats.completed == 512
+        # The reported rate respects the physical retire cap.
+        assert stats.achieved_rate <= cfg.num_links * cfg.link_rsp_rate
+
+    def test_depth_gated_replay_reports_measured_window(self):
+        trace = WorkloadTrace(
+            config_name="4link_4gb",
+            requests=tuple(
+                TraceRecord(cycle=i, tid=0, cmd="RD16", addr=(i % 64) * 64)
+                for i in range(256)
+            ),
+        )
+        stats = replay_open_loop(trace, rate=4.0, depth=32)
+        assert stats.depth == 32
+        assert stats.injected == 256
+        assert stats.completed == 256
+        # Depth mode rewrites ``duration`` to the measured injection
+        # window, so achieved_rate is a real throughput, not an
+        # offered-rate echo.
+        assert stats.duration >= 1
+        assert stats.achieved_rate > 0
+
     def test_threadless_trace_needs_open_loop(self):
         # A converted Tracer trace has no thread structure; closed-loop
         # replay must refuse it, open-loop must take it.
