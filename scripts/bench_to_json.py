@@ -262,6 +262,47 @@ def _vector_row(
     return row
 
 
+def bench_oracle_online(
+    threads: int = 100, sample: int = 64
+) -> Dict[str, object]:
+    """Online-oracle overhead on the mutex kernel at the paper's max DOP.
+
+    Warm-up run plus min-of-3 on each side; the headline number is the
+    shadowed run's wall-clock overhead over the unshadowed baseline.
+    Sampling cost is fixed per check, so it amortizes with scale —
+    measure at small thread counts and the fixed costs dominate.
+    """
+    cfg = HMCConfig.cfg_4link_4gb()
+
+    def measure(**kw):
+        run_mutex_workload(cfg, threads, **kw)  # warm-up
+        best, cycles, checks = None, 0, 0
+        for _ in range(3):
+            t0 = time.perf_counter()
+            stats = run_mutex_workload(cfg, threads, **kw)
+            dt = time.perf_counter() - t0
+            if best is None or dt < best:
+                best, cycles = dt, stats.total_cycles
+                checks = stats.oracle_checks
+        return best, cycles, checks
+
+    base_wall, _base_cycles, _ = measure()
+    wall, cycles, checks = measure(oracle_sample=sample)
+    out = _entry(
+        wall,
+        cycles,
+        "queued",
+        threads=threads,
+        oracle_sample=sample,
+        oracle_checks=checks,
+    )
+    out["base_wall_s"] = round(base_wall, 4)
+    out["overhead_pct"] = (
+        round(100.0 * (wall - base_wall) / base_wall, 1) if base_wall else None
+    )
+    return out
+
+
 def run_all(step: int) -> Dict[str, object]:
     serial = bench_mutex_sweep(step)
     parallel = bench_mutex_sweep_parallel(step, serial["wall_s"])
@@ -279,6 +320,7 @@ def run_all(step: int) -> Dict[str, object]:
         "stream_triad": triad,
         "gups": gups,
         "deep_queue": deep,
+        "oracle_online": bench_oracle_online(),
         "mutex_sweep_vector": _vector_row(bench_mutex_sweep, serial, step),
         "stream_triad_vector": _vector_row(bench_stream_triad, triad),
         "gups_vector": _vector_row(bench_gups, gups),

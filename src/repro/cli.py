@@ -253,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_kernel.add_argument(
         "--config", choices=["4link", "8link"], default="4link"
     )
+    p_kernel.add_argument(
+        "--oracle-sample", type=int, default=None, metavar="N",
+        dest="oracle_sample",
+        help="shadow-execute roughly 1-in-N requests against the "
+        "functional reference model and fail on any divergence "
+        "(workloads that declare the 'oracle_sample' parameter; "
+        "incompatible with --fault)",
+    )
     _add_component_arg(p_kernel)
     _add_fault_args(p_kernel)
 
@@ -359,8 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="first seed (default 0)",
     )
     p_fuzz.add_argument(
-        "--seeds", type=int, default=1, metavar="N",
-        help="number of consecutive seeds to run (default 1)",
+        "--seeds", default="1", metavar="N|LO-HI",
+        help="number of consecutive seeds starting at --seed, or an "
+        "inclusive LO-HI seed range (default 1)",
+    )
+    p_fuzz.add_argument(
+        "--farm", action="store_true",
+        help="fan the seeds across the parallel sweep pool with "
+        "fingerprint-cached per-seed results; divergent seeds are "
+        "shrunk and written as fixtures under tests/oracle/repros/ "
+        "(override with --emit-repro)",
     )
     p_fuzz.add_argument(
         "--count", type=int, default=256, metavar="N",
@@ -390,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fixtures under DIR",
     )
     _add_component_arg(p_fuzz)
+    _add_jobs_args(p_fuzz)
 
     p_verify = sub.add_parser(
         "verify", help="verify the paper's published numbers"
@@ -467,7 +484,15 @@ def _cmd_kernel(args, out) -> int:
             f"hmcsim-repro: error: --fault is only supported by the mutex "
             f"kernel (got kernel {args.name!r})"
         )
+    sample = getattr(args, "oracle_sample", None)
+    if sample is not None and "oracle_sample" not in frontend.default_params():
+        raise SystemExit(
+            f"hmcsim-repro: error: --oracle-sample is not supported by "
+            f"kernel {args.name!r}"
+        )
     for variant in frontend.cli_variants(args.threads):
+        if sample is not None:
+            variant = dict(variant, oracle_sample=sample)
         s = frontend.run(cfg, variant, fault_plan=plan)
         out.write(frontend.format_stats(s, fault_plan=plan) + "\n")
     return 0
@@ -657,11 +682,49 @@ def _cmd_info(out) -> int:
 _FUZZ_ROTATION = ("mixed", "cmc", "spec", "faulty", "deep_queue")
 
 
+def _parse_seed_list(args) -> List[int]:
+    """``--seeds`` as a seed list: a count (from ``--seed``) or LO-HI."""
+    spec = str(args.seeds)
+    if "-" in spec.lstrip("-"):
+        lo_s, _, hi_s = spec.lstrip("-").partition("-")
+        try:
+            lo, hi = int(lo_s, 0), int(hi_s, 0)
+        except ValueError:
+            raise SystemExit(
+                f"hmcsim-repro: error: bad --seeds range {spec!r} "
+                f"(expected LO-HI)"
+            )
+        if hi < lo:
+            raise SystemExit(
+                f"hmcsim-repro: error: empty --seeds range {spec!r}"
+            )
+        return list(range(lo, hi + 1))
+    try:
+        n = int(spec, 0)
+    except ValueError:
+        raise SystemExit(
+            f"hmcsim-repro: error: bad --seeds value {spec!r} "
+            f"(expected a count or LO-HI)"
+        )
+    if n < 1:
+        raise SystemExit("hmcsim-repro: error: --seeds must be >= 1")
+    return list(range(args.seed, args.seed + n))
+
+
 def _cmd_fuzz(args, out) -> int:
     from pathlib import Path
 
-    from repro.oracle import PROFILES, emit_repro, generate_trace, run_trace
-    from repro.oracle import shrink_trace
+    from repro.oracle import (
+        PROFILES,
+        emit_repro,
+        farm_task_spec,
+        format_seed_line,
+        generate_trace,
+        result_from_diff,
+        run_farm,
+        run_trace,
+        shrink_trace,
+    )
 
     if args.trace_path is None and args.profile == "trace":
         raise SystemExit(
@@ -682,34 +745,100 @@ def _cmd_fuzz(args, out) -> int:
         from repro.workloads.tracefmt import WorkloadTrace
 
         wtrace = WorkloadTrace.load(args.trace_path)
-    failures = 0
-    for seed in range(args.seed, args.seed + args.seeds):
+    seeds = _parse_seed_list(args)
+    overrides = (
+        {SEAM_FIELDS[seam]: key for seam, key in args.components}
+        if args.components else None
+    )
+
+    def profile_for(seed: int) -> str:
+        return (
+            _FUZZ_ROTATION[seed % len(_FUZZ_ROTATION)]
+            if args.profile == "all" else args.profile
+        )
+
+    def runner(t):
+        return run_trace(t, config_overrides=overrides)
+
+    if args.farm:
+        if wtrace is not None:
+            raise SystemExit(
+                "hmcsim-repro: error: --farm generates its own traces; "
+                "it cannot replay --trace"
+            )
+        specs = [
+            farm_task_spec(
+                seed,
+                profile=profile_for(seed),
+                count=args.count,
+                config_name=args.config,
+                overrides=overrides,
+            )
+            for seed in seeds
+        ]
+        progress = make_progress(sys.stderr) if args.jobs != 1 else None
+        results = run_farm(
+            specs, jobs=args.jobs, use_cache=not args.no_cache,
+            progress=progress,
+        )
+        # The self-growing corpus: divergent seeds are shrunk and land
+        # in the regression-fixture directory by default.
+        repro_dir = Path(args.emit_repro or "tests/oracle/repros")
+        failures = skips = 0
+        for seed, r in zip(seeds, results):
+            out.write(format_seed_line(r) + "\n")
+            if r.skipped is not None:
+                skips += 1
+                continue
+            if r.ok:
+                continue
+            failures += 1
+            for m in r.mismatches:
+                out.write(m + "\n")
+            trace = generate_trace(
+                seed, profile=r.profile, count=args.count,
+                config_name=args.config,
+            )
+            shrunk = shrink_trace(trace, runner=runner)
+            repro_dir.mkdir(parents=True, exist_ok=True)
+            path = emit_repro(
+                shrunk, repro_dir / f"repro_seed{seed}_{r.profile}.json"
+            )
+            out.write(
+                f"  shrunk to {len(shrunk.requests)} request(s); "
+                f"fixture written to {path}\n"
+            )
+        if failures:
+            out.write(f"FAIL: {failures}/{len(seeds)} seed(s) diverged\n")
+            return 1
+        tail = f", {skips} skipped" if skips else ""
+        out.write(f"OK: {len(seeds)} seed(s), no divergence{tail}\n")
+        return 0
+
+    failures = skips = 0
+    for seed in seeds:
         if wtrace is not None:
             from repro.oracle.workload_traces import trace_from_workload
 
             profile = "trace"
             trace = trace_from_workload(wtrace, seed=seed)
         else:
-            profile = (
-                _FUZZ_ROTATION[seed % len(_FUZZ_ROTATION)]
-                if args.profile == "all" else args.profile
-            )
+            profile = profile_for(seed)
             trace = generate_trace(
                 seed, profile=profile, count=args.count, config_name=args.config
             )
-        overrides = (
-            {SEAM_FIELDS[seam]: key for seam, key in args.components}
-            if args.components else None
-        )
         result = run_trace(trace, config_overrides=overrides)
-        out.write(result.summary() + "\n")
+        out.write(format_seed_line(result_from_diff(result)) + "\n")
+        if result.skipped is not None:
+            skips += 1
+            continue
         if result.ok:
             continue
         failures += 1
         for m in result.mismatches:
             out.write(m.describe() + "\n")
         if args.shrink:
-            trace = shrink_trace(trace)
+            trace = shrink_trace(trace, runner=runner)
             out.write(
                 f"  shrunk to {len(trace.requests)} request(s), "
                 f"{len(trace.preloads)} preload(s):\n"
@@ -724,9 +853,10 @@ def _cmd_fuzz(args, out) -> int:
             )
             out.write(f"  fixture written to {path}\n")
     if failures:
-        out.write(f"FAIL: {failures}/{args.seeds} seed(s) diverged\n")
+        out.write(f"FAIL: {failures}/{len(seeds)} seed(s) diverged\n")
         return 1
-    out.write(f"OK: {args.seeds} seed(s), no divergence\n")
+    tail = f", {skips} skipped" if skips else ""
+    out.write(f"OK: {len(seeds)} seed(s), no divergence{tail}\n")
     return 0
 
 

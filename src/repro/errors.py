@@ -131,6 +131,26 @@ class InvariantViolation(HMCSimError):
     """
 
 
+class OracleDivergenceError(HMCSimError):
+    """The cycle engine disagreed with the functional reference model.
+
+    Raised by the host engine's online sampled oracle
+    (``HostEngine(oracle_sample=N)``) when a shadow-executed request's
+    expected response does not match the one the datapath produced.
+    Like :class:`SimDeadlockError` it carries a
+    :class:`repro.faults.diagnostics.DeadlockDump` (``dump``
+    attribute) whose ``extra`` section names the sampled request, the
+    expectation, and the actual response — a divergence is a simulator
+    bug and must be diagnosable from the exception alone.
+    """
+
+    def __init__(self, message: str, *, dump: object = None):
+        self.dump = dump
+        if dump is not None:
+            message = f"{message}\n{dump}"
+        super().__init__(message)
+
+
 class SimDeadlockError(HMCSimError):
     """A workload stopped making forward progress.
 

@@ -72,6 +72,12 @@ class FaultController:
         self.counts: Dict[str, int] = {}
         #: (cub, tag) pairs whose expected response a fault destroyed.
         self.lost_tags: Set[Tuple[int, int]] = set()
+        #: (cub, tag) → fault kind that destroyed the response; keeps
+        #: the deadlock dump able to *name* the kind when a watchdog
+        #: exhausts a tag.  Best-effort companion to ``lost_tags`` (not
+        #: part of the checkpoint format; a restored run re-attributes
+        #: on the next loss).
+        self.lost_by: Dict[Tuple[int, int], str] = {}
         self.dram = None
         self.vault = None
         self.rsp_drop = None
@@ -111,13 +117,15 @@ class FaultController:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.sim.tracer.trace_fault(cycle, kind=kind, **fields)
 
-    def record_lost(self, cub: int, tag: int) -> None:
+    def record_lost(self, cub: int, tag: int, kind: str = "rsp_drop") -> None:
         """Mark an expected response as destroyed by a fault."""
         self.lost_tags.add((cub, tag))
+        self.lost_by[(cub, tag)] = kind
 
     def clear_lost(self, cub: int, tag: int) -> None:
         """The watchdog is retransmitting this tag: it is in flight again."""
         self.lost_tags.discard((cub, tag))
+        self.lost_by.pop((cub, tag), None)
 
     def on_response_dropped(
         self, dev: int, link: int, rsp: object, cycle: int

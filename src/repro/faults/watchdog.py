@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import FaultError
 
@@ -141,7 +141,49 @@ class TagWatchdog:
         """Count one retransmission performed by the engine."""
         self.retransmits += 1
 
+    def reset(self) -> None:
+        """Forget every armed tag, attempt history, and counter.
+
+        Called by the host engine at each run entrypoint so a reused
+        engine (and therefore a reused watchdog) starts every run with
+        fresh statistics — without this, a second ``run()`` reports the
+        first run's ``retransmits`` in its result.  Checkpoint-restored
+        watchdog state is unaffected: resumption drives the simulation
+        directly, never through a fresh ``HostEngine.run()``.
+        """
+        self._armed.clear()
+        self._attempts.clear()
+        self._heap.clear()
+        self.timeouts = 0
+        self.retransmits = 0
+
     # -- inspection ---------------------------------------------------------------
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest live deadline, or ``None`` when nothing is armed.
+
+        Lets an idle caller (the differential runner, whose context
+        fast-forwards quiescent cycles in O(1)) jump straight to the
+        next expiry instead of clocking through the wait.  Stale heap
+        entries encountered on the way are discarded.
+        """
+        heap = self._heap
+        while heap:
+            deadline, serial, tag = heap[0]
+            entry = self._armed.get(tag)
+            if entry is None or entry.serial != serial:
+                heapq.heappop(heap)
+                continue
+            return deadline
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for result records and per-seed fuzz summaries."""
+        return {
+            "armed": len(self._armed),
+            "timeouts": self.timeouts,
+            "retransmits": self.retransmits,
+        }
 
     def pending(self) -> Tuple[int, ...]:
         """Currently armed tags, sorted."""

@@ -30,7 +30,13 @@ history — so a faulty run can checkpoint with a response destroyed
 and mid-retransmission, and resume bit-identically.  Version 2 files
 still restore (their fault state defaults to empty); fault draws are
 stateless splitmix64 hashes of (seed, cycle, coordinates), so no RNG
-state needs capturing.
+state needs capturing.  Version 4 adds the differential oracle: pass
+the reference model via the duck-typed ``oracle=`` parameter (any
+object with ``snapshot_state()``/``restore_state(doc)`` — this module
+never imports :mod:`repro.oracle`, preserving the layering) and a
+fuzz-farm burn-down can freeze mid-trace with the oracle's memory
+image and register files captured alongside the device state.
+Version 3 files still restore; they simply carry no oracle document.
 """
 
 from __future__ import annotations
@@ -50,12 +56,13 @@ from repro.hmc.topology import Topology
 
 __all__ = ["save_checkpoint", "restore_checkpoint", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
 
 #: Versions restore_checkpoint accepts.  Version 2 predates the fault
 #: subsystem; its files carry no outstanding/fault/watchdog state and
-#: restore with those defaults (empty).
-_SUPPORTED_VERSIONS = (2, 3)
+#: restore with those defaults (empty).  Version 3 predates the
+#: oracle document; its files restore with no oracle state.
+_SUPPORTED_VERSIONS = (2, 3, 4)
 
 
 def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
@@ -320,6 +327,7 @@ def save_checkpoint(
     path: Union[str, Path],
     *,
     watchdog: Optional[TagWatchdog] = None,
+    oracle: Optional[object] = None,
 ) -> Path:
     """Write a checkpoint of a device-quiesced context.
 
@@ -328,7 +336,10 @@ def save_checkpoint(
     owe responses — a fault destroyed them and the watchdog is waiting
     to retransmit — so the host's outstanding-tag set, the fault
     controller's counters and lost tags, and (when ``watchdog`` is
-    passed) the watchdog's armed state are all captured.
+    passed) the watchdog's armed state are all captured.  Pass a
+    differential reference model via ``oracle=`` (anything with a
+    ``snapshot_state()`` method) to embed its memory image and
+    registers as well.
 
     Raises:
         HMCSimError: if any device holds packets in flight (drain first).
@@ -354,6 +365,7 @@ def save_checkpoint(
         "outstanding": sorted(sim._outstanding),
         "faults": _encode_faults(sim),
         "watchdog": None if watchdog is None else _encode_watchdog(watchdog),
+        "oracle": None if oracle is None else oracle.snapshot_state(),
     }
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
@@ -366,6 +378,7 @@ def restore_checkpoint(
     path: Union[str, Path],
     *,
     watchdog: Optional[TagWatchdog] = None,
+    oracle: Optional[object] = None,
 ) -> None:
     """Load a checkpoint into a freshly built context.
 
@@ -374,7 +387,9 @@ def restore_checkpoint(
     and the same fault plan when the checkpoint carries fault state —
     and CMC plugins must be re-loaded by the caller afterwards.  When
     the checkpoint holds watchdog state, pass the (identically
-    parameterized) target watchdog via ``watchdog=``.
+    parameterized) target watchdog via ``watchdog=``; when it holds an
+    oracle document, pass the target reference model (anything with
+    ``restore_state(doc)``) via ``oracle=``.
 
     Raises:
         HMCSimError: version, configuration, fault-plan, or watchdog
@@ -421,3 +436,11 @@ def restore_checkpoint(
                 "watchdog via watchdog="
             )
         _restore_watchdog(watchdog, wd_doc)
+    oracle_doc = doc.get("oracle")
+    if oracle_doc is not None:
+        if oracle is None:
+            raise HMCSimError(
+                "checkpoint carries oracle state — pass the target "
+                "reference model via oracle="
+            )
+        oracle.restore_state(oracle_doc)

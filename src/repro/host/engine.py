@@ -76,6 +76,8 @@ class EngineResult:
     duplicate_rsps: int = 0
     #: Completed invariant-checker passes (0 when checking is off).
     invariant_checks: int = 0
+    #: Shadow-oracle comparisons performed (0 when sampling is off).
+    oracle_checks: int = 0
 
     @property
     def min_cycle(self) -> int:
@@ -109,6 +111,13 @@ class HostEngine:
             :class:`~repro.faults.invariants.InvariantChecker` for
             ``sim``) or a ready checker.  When set, every engine cycle
             verifies tag/token conservation and queue bounds.
+        oracle_sample: when set to ``N``, roughly one in ``N``
+            response-expecting requests is shadow-executed against the
+            functional reference model
+            (:mod:`repro.host.shadow`); a disagreement raises
+            :class:`~repro.errors.OracleDivergenceError`.  Rejected
+            when ``sim`` has a fault plan attached — faults diverge
+            from the functional contract by design.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class HostEngine:
         watchdog: Optional[TagWatchdog] = None,
         invariants: Union[bool, InvariantChecker, None] = None,
         batched: bool = True,
+        oracle_sample: Optional[int] = None,
     ):
         self.sim = sim
         self.max_cycles = max_cycles
@@ -139,6 +149,14 @@ class HostEngine:
         #: instead of raising — on whenever the run can produce them.
         self.resilient = watchdog is not None or sim.faults is not None
         self.duplicate_rsps = 0
+        #: Online sampled oracle (see :mod:`repro.host.shadow`).  The
+        #: import is deferred so engine users that never sample don't
+        #: pay for the oracle stack.
+        self.shadow = None
+        if oracle_sample is not None:
+            from repro.host.shadow import ShadowOracle
+
+            self.shadow = ShadowOracle(sim, oracle_sample)
         #: Optional trace recorder (``on_send(cycle, thread, pkt)`` per
         #: accepted send, ``on_result(result)`` at completion) — one
         #: ``None``-check per send when unset.  See
@@ -191,6 +209,18 @@ class HostEngine:
         """
         pkt = thread.pending
         assert pkt is not None
+        shadow = self.shadow
+        if shadow is not None:
+            held = shadow.held
+            if held is not None:
+                # A hold window is open: only the sampled thread may
+                # inject, and only once the expectation is computed
+                # (i.e. the context quiesced).  Everyone else keeps
+                # their packet pending and retries next cycle.
+                if thread is not held or shadow.expect is None:
+                    return
+            elif shadow.maybe_hold(thread):
+                return
         status = self.sim.send(pkt, dev=thread.ctx.cub, link=thread.ctx.link)
         if status is HMCStatus.STALL:
             thread.stalls += 1
@@ -203,6 +233,8 @@ class HostEngine:
             )
         if self.sim._expects_response(pkt):
             thread.state = ThreadState.WAITING
+            if shadow is not None:
+                shadow.note_send(pkt)
             if self.watchdog is not None:
                 self.watchdog.arm(
                     pkt.tag,
@@ -223,6 +255,15 @@ class HostEngine:
             HMCSimError: if the workload does not complete within
                 ``max_cycles`` cycles.
         """
+        # A reused engine must not leak the previous run's resilience
+        # statistics into this run's result.
+        if self.watchdog is not None:
+            self.watchdog.reset()
+        self.duplicate_rsps = 0
+        shadow = self.shadow
+        if shadow is not None:
+            shadow.begin_run()
+
         for thread in self.threads:
             thread.start_cycle = self.sim.cycle
             thread.start()
@@ -269,6 +310,19 @@ class HostEngine:
                     dump=collect_deadlock_dump(sim, extra=self._thread_dump(live)),
                 )
             finished = False
+            # Phase 0 (sampling, only while a hold window is draining):
+            # once nothing is waiting and the context is idle, the
+            # sampled request's footprint is stable — synchronize the
+            # oracle and compute the expectation; phase 1 then injects
+            # the sampled packet alone.
+            if (
+                shadow is not None
+                and shadow.held is not None
+                and shadow.expect is None
+                and sim.idle()
+                and not any(t.state is WAITING for t in live)
+            ):
+                shadow.prepare()
             # Phase 1: inject pending requests (tid order, as the full
             # thread scan would visit them).
             if inject:
@@ -332,6 +386,11 @@ class HostEngine:
                             )
                         if wd is not None:
                             wd.disarm(rsp.tag)
+                        if shadow is not None and shadow.held is thread:
+                            # The sampled response: raises
+                            # OracleDivergenceError on disagreement,
+                            # closes the hold window otherwise.
+                            shadow.verify(rsp)
                         thread.resume(rsp, cyc)
                         if thread.done:
                             finished = True
@@ -352,13 +411,26 @@ class HostEngine:
             if wd is not None:
                 for entry in wd.poll(cyc):
                     if wd.exhausted(entry):
+                        extra = self._thread_dump(live)
+                        lost_kind = None
+                        if sim.faults is not None:
+                            lost_kind = sim.faults.lost_by.get(
+                                (entry.packet.cub, entry.tag)
+                            )
+                        extra["exhausted tag"] = (
+                            f"tag {entry.tag} (dev {entry.packet.cub}) "
+                            f"after {entry.attempts} retransmission(s)"
+                            + (
+                                f", last lost to fault {lost_kind!r}"
+                                if lost_kind
+                                else ""
+                            )
+                        )
                         raise SimDeadlockError(
                             f"workload did not complete: tag {entry.tag} "
                             f"still unanswered after {entry.attempts} "
                             f"retransmission(s)",
-                            dump=collect_deadlock_dump(
-                                sim, extra=self._thread_dump(live)
-                            ),
+                            dump=collect_deadlock_dump(sim, extra=extra),
                         )
                     thread = by_tag.get(entry.tag)
                     if thread is None or thread.state is not WAITING:
@@ -394,6 +466,8 @@ class HostEngine:
         if wd is not None:
             result.retransmits = wd.retransmits
         result.duplicate_rsps = self.duplicate_rsps
+        if shadow is not None:
+            result.oracle_checks = shadow.checks
         if checker is not None:
             result.invariant_checks = checker.checks
         if self.recorder is not None:

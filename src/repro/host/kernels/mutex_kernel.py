@@ -96,6 +96,8 @@ class MutexRunStats:
     faults_injected: int = 0
     #: Watchdog retransmissions (0 without a fault plan).
     retransmits: int = 0
+    #: Online-oracle shadow comparisons (0 when sampling is off).
+    oracle_checks: int = 0
 
 
 def run_mutex_workload(
@@ -107,6 +109,7 @@ def run_mutex_workload(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     fault_plan: Optional[FaultPlan] = None,
     recorder: Optional[object] = None,
+    oracle_sample: Optional[int] = None,
 ) -> MutexRunStats:
     """Run Algorithm 1 with ``num_threads`` threads on ``config``.
 
@@ -123,6 +126,11 @@ def run_mutex_workload(
             instead of deadlocking the sweep).
         recorder: optional trace recorder hung off the engine (see
             :class:`repro.workloads.replay.TraceRecorder`).
+        oracle_sample: when set to ``N``, the engine shadow-executes
+            roughly one in ``N`` requests against the functional
+            reference and raises
+            :class:`~repro.errors.OracleDivergenceError` on
+            disagreement.  Incompatible with ``fault_plan``.
 
     Returns:
         The MIN/MAX/AVG cycle statistics of §V.B.
@@ -138,7 +146,12 @@ def run_mutex_workload(
     watchdog = (
         TagWatchdog(timeout=FAULT_WATCHDOG_TIMEOUT) if sim.faults is not None else None
     )
-    engine = HostEngine(sim, max_cycles=max_cycles, watchdog=watchdog)
+    engine = HostEngine(
+        sim,
+        max_cycles=max_cycles,
+        watchdog=watchdog,
+        oracle_sample=oracle_sample,
+    )
     if recorder is not None:
         engine.recorder = recorder
     engine.add_threads(num_threads, lambda ctx: mutex_program(ctx, lock_addr))
@@ -158,6 +171,7 @@ def run_mutex_workload(
         cmc_executions=cmc_execs,
         faults_injected=faults_injected,
         retransmits=result.retransmits,
+        oracle_checks=result.oracle_checks,
     )
 
 

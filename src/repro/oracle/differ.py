@@ -24,16 +24,38 @@ state), the runner drains the device to quiescence.  That fences
 exactly the architecturally-unordered races; all other traffic stays
 concurrent, which is where the queueing, crossbar, and stall-path bugs
 live.
+
+**Survivable faults.**  When the trace carries a fault plan the runner
+pairs itself with a :class:`~repro.faults.watchdog.TagWatchdog`, which
+makes the response-destroying fault kinds (``xbar_drop``,
+``xbar_dup``, ``link_crc``) differentially testable instead of fatal:
+
+* expectations are computed *inline* at send time, one queue per
+  request, so a retransmitted request can be re-executed in the oracle
+  at the position the engine re-executes it (at-least-once semantics:
+  ``xbar_drop`` destroys the response *after* vault execution, so a
+  retransmit runs the operation again on both sides);
+* lost tags are resolved at the fences (:func:`settle` below): the
+  runner drains to quiescence, fast-forwards to the watchdog deadline
+  (O(1) on an idle context), retransmits, and repeats — so every
+  retransmission happens before any *conflicting* later request is
+  sent, which is exactly the condition under which the oracle's
+  re-execution order is sound (non-conflicting traffic commutes);
+* a duplicated response (or a late one racing its own retransmission)
+  is suppressed when it matches the tag's last settled answer;
+* watchdog exhaustion degrades to a recorded ``DiffResult.skipped``
+  instead of a crash, so one hopeless seed cannot abort a farm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HMCStatus, SimDeadlockError, TagError
 from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import TagWatchdog
 from repro.hmc.commands import CommandKind, command_for_code, hmc_rqst_t
 from repro.hmc.packet import RequestPacket
 from repro.hmc.registers import HMC_REG
@@ -42,6 +64,11 @@ from repro.oracle.model import Expectation, Oracle
 from repro.oracle.trafficgen import Trace, TraceRequest
 
 __all__ = ["Mismatch", "DiffResult", "build_packet", "run_trace"]
+
+#: Watchdog deadline for faulty differential runs: far beyond any
+#: legitimate response latency (vault stalls included), so an expired
+#: tag at a quiescent fence always means the response was destroyed.
+DIFF_WATCHDOG_TIMEOUT = 4096
 
 
 @dataclass(frozen=True)
@@ -76,6 +103,15 @@ class DiffResult:
     #: Fault events the engine injected during the run, by fault name
     #: (empty when the trace carries no FaultPlan).
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Watchdog timeouts / retransmissions performed (0 without faults).
+    timeouts: int = 0
+    retransmits: int = 0
+    #: Responses tolerated as benign duplicates of a settled answer.
+    duplicates_suppressed: int = 0
+    #: Set when the run was abandoned without a verdict (watchdog
+    #: exhaustion): the reason string.  A skipped run is neither a pass
+    #: nor a divergence; farms record it and move on.
+    skipped: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -83,11 +119,27 @@ class DiffResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.mismatches)} mismatch(es)"
-        return (
+        if self.skipped is not None:
+            status = f"SKIPPED ({self.skipped})"
+        line = (
             f"seed={self.trace.seed} profile={self.trace.profile} "
             f"requests={len(self.trace.requests)} responses={self.responses} "
             f"cycles={self.cycles}: {status}"
         )
+        if self.fault_counts:
+            counts = " ".join(
+                f"{k}={v}" for k, v in sorted(self.fault_counts.items())
+            )
+            line += (
+                f" [faults: {counts}; watchdog: {self.timeouts} timeouts, "
+                f"{self.retransmits} retransmits, "
+                f"{self.duplicates_suppressed} dups suppressed]"
+            )
+        return line
+
+
+class _SkipTrace(Exception):
+    """Internal: abandon the diff without a verdict (records ``skipped``)."""
 
 
 def build_packet(req: TraceRequest) -> RequestPacket:
@@ -123,6 +175,14 @@ def run_trace(
     config = trace.config()
     if config_overrides:
         config = dc_replace(config, **config_overrides)
+    if any(
+        spec.startswith("link_crc") for spec in trace.fault_specs
+    ) and config.link_flow != "tokens":
+        # The CRC injector perturbs the link ErrorModel, which only
+        # exists under the token-flow link: upgrade the engine config.
+        # Purely a link-latency change — functional outcomes (what the
+        # oracle models) are untouched.
+        config = dc_replace(config, link_flow="tokens")
     sim = HMCSim(config)
     oracle = Oracle(config)
     for module in trace.cmc_modules:
@@ -138,15 +198,22 @@ def run_trace(
 
     result = DiffResult(trace=trace)
     packets = [build_packet(r) for r in trace.requests]
-    expectations: List[Expectation] = [
-        oracle.execute(pkt, link=req.link)
-        for pkt, req in zip(packets, trace.requests)
-    ]
+    # The watchdog makes response-destroying faults survivable; without
+    # a plan nothing can destroy a response, so it stays off the path.
+    wd = (
+        TagWatchdog(timeout=DIFF_WATCHDOG_TIMEOUT)
+        if sim.faults is not None
+        else None
+    )
 
     # (cub << 11) | tag — the same packed key HMCSim uses internally.
-    pending: Dict[int, int] = {}
     index_of_key: Dict[int, int] = {}
-    actual: Dict[int, object] = {}
+    # Per-request FIFO of expectations still awaiting a response: one
+    # entry per oracle execution (a retransmitted request is executed —
+    # and therefore expected — more than once).
+    exp_queue: Dict[int, List[Expectation]] = {}
+    # Last matched response per request, for duplicate suppression.
+    settled: Dict[int, object] = {}
     # In-flight state footprints: key → (lo, hi, mutates).  Returning
     # requests retire when their response arrives; posted ones only at
     # the next quiesce, since nothing announces their completion.
@@ -162,6 +229,31 @@ def run_trace(
                          actual=actual_s, request=req_s)
             )
 
+    def fmt_rsp(rsp: object) -> str:
+        return (
+            f"cmd={rsp.cmd:#04x} tag={rsp.tag} errstat={rsp.errstat:#04x} "
+            f"dinv={rsp.dinv} data={rsp.data.hex() or '-'}"
+        )
+
+    def same(rsp: object, other: object) -> bool:
+        return (
+            rsp.cmd == other.cmd
+            and rsp.errstat == other.errstat
+            and rsp.data == other.data
+            and rsp.dinv == other.dinv
+        )
+
+    def check(idx: int, exp: Expectation, rsp: object) -> None:
+        got = fmt_rsp(rsp)
+        if rsp.cmd != exp.rsp_cmd:
+            note(idx, "rsp_cmd", exp.describe(), got)
+        elif rsp.errstat != exp.errstat:
+            note(idx, "rsp_errstat", exp.describe(), got)
+        elif rsp.data != exp.data:
+            note(idx, "rsp_data", exp.describe(), got)
+        elif rsp.dinv != exp.dinv:
+            note(idx, "rsp_dinv", exp.describe(), got)
+
     def poll() -> None:
         drained = False
         while not drained:
@@ -173,18 +265,109 @@ def run_trace(
                 drained = False
                 result.responses += 1
                 key = (rsp.cub << 11) | rsp.tag
-                idx = pending.pop(key, None)
-                if idx is None:
-                    note(
-                        index_of_key.get(key),
-                        "unexpected_response",
-                        "no (further) response for this tag",
-                        f"cmd={rsp.cmd:#04x} tag={rsp.tag} "
-                        f"errstat={rsp.errstat:#04x} data={rsp.data.hex() or '-'}",
-                    )
-                else:
-                    actual[idx] = rsp
+                idx = index_of_key.get(key)
+                queue = exp_queue.get(idx) if idx is not None else None
+                if queue:
+                    exp = queue.pop(0)
+                    check(idx, exp, rsp)
+                    settled[idx] = rsp
                     inflight.pop(idx, None)
+                    if wd is not None:
+                        wd.disarm(rsp.tag)
+                    continue
+                prev = settled.get(idx) if idx is not None else None
+                if prev is not None and same(rsp, prev):
+                    # A duplication fault's second copy, or a late
+                    # response racing its own retransmission.
+                    result.duplicates_suppressed += 1
+                    continue
+                note(
+                    idx,
+                    "unexpected_response",
+                    "no (further) response for this tag",
+                    fmt_rsp(rsp),
+                )
+
+    def expire(entry) -> None:
+        """One watchdog expiry at a quiescent fence: re-execute on both
+        sides (at-least-once) or — budget spent — skip the trace."""
+        key = (entry.packet.cub << 11) | entry.tag
+        idx = index_of_key[key]
+        if wd.exhausted(entry):
+            kind = None
+            if sim.faults is not None:
+                kind = sim.faults.lost_by.get((entry.packet.cub, entry.tag))
+            raise _SkipTrace(
+                f"tag {entry.tag} (request #{idx}) unanswered after "
+                f"{entry.attempts} retransmission(s)"
+                + (f", last lost to fault {kind!r}" if kind else "")
+            )
+        lost = (
+            sim.faults is not None
+            and (entry.packet.cub, entry.tag) in sim.faults.lost_tags
+        )
+        sim.abandon_tag(entry.packet.cub, entry.tag)
+        queue = exp_queue.get(idx)
+        if lost and queue:
+            # The fault destroyed that execution's response *after* the
+            # vault ran it: its expectation can never be answered.
+            queue.pop(0)
+        # The engine will execute the retransmitted request again; the
+        # oracle must too (the fences guarantee nothing conflicting was
+        # sent since, so this position in the global order is exact).
+        exp = oracle.execute(packets[idx], link=trace.requests[idx].link)
+        if exp.has_rsp:
+            exp_queue.setdefault(idx, []).append(exp)
+        wd.note_retransmit()
+        send(idx, arm=True)
+
+    def send(idx: int, *, arm: bool) -> None:
+        pkt = packets[idx]
+        req = trace.requests[idx]
+        while sim.send(pkt, link=req.link) is HMCStatus.STALL:
+            sim.clock()
+            poll()
+            if sim.cycle - start_cycle > max_cycles:
+                raise _SendTimeout(idx)
+        if arm and wd is not None and sim._expects_response(pkt):
+            wd.arm(
+                pkt.tag, pkt, dev=pkt.cub, link=req.link, cycle=sim.cycle
+            )
+
+    def settle(idx: Optional[int]) -> None:
+        """Drain to quiescence *and* resolve every armed tag.
+
+        The conflict fence and the end-of-trace barrier.  On an idle
+        context an armed tag's response has been destroyed (delivery
+        would have disarmed it), so the loop fast-forwards to the next
+        deadline (O(1) when quiescent), retransmits, and drains again —
+        until nothing is armed or a tag exhausts its budget.
+        """
+        while True:
+            try:
+                sim.drain(max_cycles=max_cycles)
+            except SimDeadlockError as exc:
+                note(
+                    idx,
+                    "deadlock",
+                    "fence drains to idle"
+                    if idx is not None
+                    else "trace drains to idle",
+                    str(exc),
+                )
+                raise _Abort()
+            poll()
+            if wd is None or not len(wd):
+                inflight.clear()
+                return
+            expired = wd.poll(sim.cycle)
+            if not expired:
+                deadline = wd.next_deadline()
+                assert deadline is not None
+                sim.clock(deadline - sim.cycle)
+                expired = wd.poll(sim.cycle)
+            for entry in expired:
+                expire(entry)
 
     def conflicts(req: TraceRequest) -> bool:
         if not req.footprint:
@@ -195,70 +378,65 @@ def run_trace(
             for f_lo, f_hi, f_mut in inflight.values()
         )
 
+    class _Abort(Exception):
+        pass
+
+    class _SendTimeout(Exception):
+        pass
+
     aborted = False
-    for i, (req, pkt, exp) in enumerate(zip(trace.requests, packets, expectations)):
-        key = (pkt.cub << 11) | pkt.tag
-        index_of_key[key] = i
-        if conflicts(req):
+    try:
+        for i, (req, pkt) in enumerate(zip(trace.requests, packets)):
+            key = (pkt.cub << 11) | pkt.tag
+            index_of_key[key] = i
+            if conflicts(req):
+                settle(i)
+            if req.footprint:
+                inflight[i] = (req.addr, req.addr + req.footprint, req.mutates)
+            # The oracle executes at send time — the same global order
+            # as the up-front batch, but extendable when a retransmit
+            # re-executes a request later in the order.
+            exp = oracle.execute(pkt, link=req.link)
+            if exp.has_rsp:
+                exp_queue.setdefault(i, []).append(exp)
             try:
-                sim.drain(max_cycles=max_cycles)
-            except SimDeadlockError as exc:
-                note(i, "deadlock", "pre-send fence drains to idle", str(exc))
+                send(i, arm=True)
+            except TagError as exc:
+                note(i, "tag_error", "send accepted", str(exc))
                 aborted = True
                 break
-            poll()
-            inflight.clear()
-        if req.footprint:
-            inflight[i] = (req.addr, req.addr + req.footprint, req.mutates)
-        if exp.has_rsp:
-            pending[key] = i
-        try:
-            while sim.send(pkt, link=req.link) is HMCStatus.STALL:
-                sim.clock()
-                poll()
-                if sim.cycle - start_cycle > max_cycles:
-                    note(i, "send_timeout",
-                         f"request accepted within {max_cycles} cycles",
-                         f"still stalled at cycle {sim.cycle}")
-                    aborted = True
-                    break
-        except TagError as exc:
-            note(i, "tag_error", "send accepted", str(exc))
-            aborted = True
-        if aborted:
-            break
+        if not aborted:
+            settle(None)
+    except _Abort:
+        aborted = True
+    except _SendTimeout as exc:
+        note(
+            exc.args[0],
+            "send_timeout",
+            f"request accepted within {max_cycles} cycles",
+            f"still stalled at cycle {sim.cycle}",
+        )
+        aborted = True
+    except _SkipTrace as exc:
+        result.skipped = str(exc)
 
-    if not aborted:
-        try:
-            sim.drain(max_cycles=max_cycles)
-        except SimDeadlockError as exc:
-            note(None, "deadlock", "trace drains to idle", str(exc))
     poll()
     result.cycles = sim.cycle - start_cycle
+    if wd is not None:
+        result.timeouts = wd.timeouts
+        result.retransmits = wd.retransmits
+    if sim.faults is not None:
+        result.fault_counts = dict(sim.faults.counters())
+    if result.skipped is not None:
+        # No verdict: the final state check would charge the engine for
+        # an operation whose completion was never confirmed.
+        return result
 
-    # Response-level diff.
-    for i, exp in enumerate(expectations):
-        rsp = actual.get(i)
-        if not exp.has_rsp:
-            # A response to a posted request surfaces above as
-            # unexpected_response; nothing more to check here.
-            continue
-        if rsp is None:
-            if not aborted:
+    # Responses still owed at the end of the run.
+    if not aborted:
+        for i, queue in sorted(exp_queue.items()):
+            for exp in queue:
                 note(i, "missing_response", exp.describe(), "no response received")
-            continue
-        got = (
-            f"cmd={rsp.cmd:#04x} tag={rsp.tag} errstat={rsp.errstat:#04x} "
-            f"dinv={rsp.dinv} data={rsp.data.hex() or '-'}"
-        )
-        if rsp.cmd != exp.rsp_cmd:
-            note(i, "rsp_cmd", exp.describe(), got)
-        elif rsp.errstat != exp.errstat:
-            note(i, "rsp_errstat", exp.describe(), got)
-        elif rsp.data != exp.data:
-            note(i, "rsp_data", exp.describe(), got)
-        elif rsp.dinv != exp.dinv:
-            note(i, "rsp_dinv", exp.describe(), got)
 
     # Memory-image diff over the trace's declared windows.
     for base, length in trace.check_ranges:
@@ -289,6 +467,4 @@ def run_trace(
                 f"{name}={engine_val:#x}",
             )
 
-    if sim.faults is not None:
-        result.fault_counts = dict(sim.faults.counts)
     return result

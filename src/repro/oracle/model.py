@@ -28,6 +28,7 @@ the oracle's global order is exact.
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
@@ -215,6 +216,52 @@ class Oracle:
     def registers(self, dev: int = 0) -> RegisterFile:
         """The expected register file of device ``dev``."""
         return self._registers[dev]
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot: every resident image page + register file.
+
+        Version-4 checkpoints embed this document through the
+        checkpoint layer's duck-typed ``oracle=`` parameter (the hmc
+        layer never imports this package), so a fuzz-farm run can
+        freeze mid-burn-down and resume with the reference model
+        bit-identical to the cycle engine's state.
+        """
+        return {
+            "capacity": self.capacity,
+            "num_devs": len(self._images),
+            "images": [
+                {
+                    str(idx): base64.b64encode(bytes(page)).decode("ascii")
+                    for idx, page in sorted(img._pages.items())
+                }
+                for img in self._images
+            ],
+            "registers": [regs.snapshot() for regs in self._registers],
+        }
+
+    def restore_state(self, doc: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot_state` document into this oracle."""
+        shape = (doc.get("capacity"), doc.get("num_devs"))
+        want = (self.capacity, len(self._images))
+        if shape != want:
+            raise HMCSimError(
+                f"oracle snapshot shape {shape} does not match this "
+                f"oracle {want} (capacity, num_devs)"
+            )
+        from repro.hmc.registers import HMC_REG
+
+        for img, pages in zip(self._images, doc["images"]):
+            img._pages = {
+                int(idx): bytearray(base64.b64decode(blob))
+                for idx, blob in pages.items()
+            }
+        for regs, snapshot in zip(self._registers, doc["registers"]):
+            for name, value in snapshot.items():
+                if name in ("FEAT", "RVID"):
+                    continue  # read-only; derived from the configuration
+                regs.write(HMC_REG[name], value)
 
     # -- execution --------------------------------------------------------------
 

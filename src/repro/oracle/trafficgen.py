@@ -138,13 +138,22 @@ _SPEC_WEIGHTS: Tuple[Tuple[str, float], ...] = (
 
 _MIXED_WEIGHTS = _SPEC_WEIGHTS + (("cmc", 26),)
 
-#: Oracle-exact fault plan: vault stalls only delay execution, and
-#: corrected-only ECC flips leave read data intact.  Response drops,
-#: duplicates, CMC crashes, and link CRC faults change *which*
-#: responses exist — those stay in the chaos suite, not the oracle.
+#: The faulty profile's plan.  Vault stalls only delay execution and
+#: corrected-only ECC flips leave read data intact (oracle-exact as
+#: always); the response-destroying kinds — crossbar response drops
+#: and duplicates, link CRC corruption — became differentially
+#: testable when the runner learned to pair with a
+#: :class:`~repro.faults.watchdog.TagWatchdog`: lost tags retransmit
+#: (at-least-once, re-executed on both sides), duplicates are
+#: suppressed against the settled answer, and CRC replays are
+#: host-transparent link latency.  Only ``cmc_crash`` (which kills the
+#: device) stays out, in the chaos suite.
 _ORACLE_SAFE_FAULTS = (
     "vault_stall=0.05,duration=6",
     "dram_bitflip=0.1,uncorrectable=0",
+    "xbar_drop=0.01",
+    "xbar_dup=0.01",
+    "link_crc=0.0005",
 )
 
 PROFILES: Dict[str, TrafficProfile] = {

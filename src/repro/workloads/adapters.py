@@ -86,6 +86,8 @@ class MutexWorkload(KernelAdapter):
             "threads": 16,
             "lock_addr": DEFAULT_LOCK_ADDR,
             "max_cycles": DEFAULT_MAX_CYCLES,
+            # 1-in-N online oracle sampling; None = off.
+            "oracle_sample": None,
         }
 
     def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
@@ -125,6 +127,7 @@ class MutexWorkload(KernelAdapter):
             max_cycles=p["max_cycles"],
             fault_plan=fault_plan,
             recorder=recorder,
+            oracle_sample=p["oracle_sample"],
         )
 
     def task_spec(self, config, threads, *, fault_plan=None, **params):
@@ -144,6 +147,8 @@ class MutexWorkload(KernelAdapter):
                 f" [{fault_plan.describe()}: {s.faults_injected} faults, "
                 f"{s.retransmits} retransmits]"
             )
+        if s.oracle_checks:
+            line += f" [oracle: {s.oracle_checks} checks, 0 divergences]"
         return line
 
 

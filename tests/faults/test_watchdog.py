@@ -141,6 +141,44 @@ class TestEngineResilience:
         assert "retransmission" in str(exc.value)
         assert "stuck threads" in str(exc.value)
 
+    @pytest.mark.parametrize("xbar", ["queued", "vector"])
+    def test_exhaustion_dump_names_tag_and_fault_kind(self, xbar):
+        # Same contract on both datapaths: the dump's "exhausted tag"
+        # entry names the tag, its retry count, and the fault kind that
+        # destroyed the last response.
+        sim = HMCSim(
+            HMCConfig.cfg_4link_4gb(xbar=xbar),
+            faults=FaultPlan.parse(["xbar_drop=1.0"], seed=0xD06),
+        )
+        engine = HostEngine(
+            sim, watchdog=TagWatchdog(timeout=16, max_retries=2)
+        )
+        engine.add_thread(read_program)
+        with pytest.raises(SimDeadlockError) as exc:
+            engine.run()
+        text = str(exc.value)
+        assert "exhausted tag" in text
+        assert "tag 0" in text
+        assert "2 retransmission(s)" in text
+        assert "'rsp_drop'" in text
+
+    def test_run_entry_resets_watchdog_state(self):
+        # A stale armed tag (or carried-over counters) from a previous
+        # run must not leak into a new one: run() resets the watchdog
+        # before clocking.  Without the reset, the stale entry would
+        # time out mid-run and retransmit a bogus packet.
+        sim = HMCSim(HMCConfig.cfg_4link_4gb())
+        wd = TagWatchdog(timeout=64)
+        wd.arm(99, "stale", dev=0, link=0, cycle=0)
+        wd.timeouts = 3
+        wd.retransmits = 5
+        engine = HostEngine(sim, watchdog=wd)
+        engine.add_thread(read_program)
+        result = engine.run()
+        assert result.retransmits == 0
+        assert wd.timeouts == 0 and wd.retransmits == 0
+        assert len(wd) == 0
+
 
 class TestDeadlockDiagnostics:
     def test_engine_deadlock_dump_names_stuck_tags(self):

@@ -263,6 +263,78 @@ class TestFaultStateRoundtrip:
         assert faulty.faults.counts == {}
 
 
+class TestOracleStateRoundtrip:
+    """Version 4: the differential oracle rides along, duck-typed."""
+
+    def _pair(self, cfg):
+        from repro.oracle import Oracle
+
+        sim, oracle = HMCSim(cfg), Oracle(cfg)
+        for i in range(8):
+            data = bytes([i + 1]) * 16
+            sim.mem_write(0x100 * i, data)
+            oracle.mem_write(0x100 * i, data)
+        oracle.registers().write(HMC_REG["EDR3"], 0x77)
+        return sim, oracle
+
+    def test_v4_oracle_roundtrips_bit_identically(self, cfg4, tmp_path):
+        from repro.oracle import Oracle
+
+        sim, oracle = self._pair(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json", oracle=oracle)
+        doc = json.loads(p.read_text())
+        assert doc["version"] == 4 and doc["oracle"] is not None
+        sim2, oracle2 = HMCSim(cfg4), Oracle(cfg4)
+        restore_checkpoint(sim2, p, oracle=oracle2)
+        assert oracle2.snapshot_state() == oracle.snapshot_state()
+        assert oracle2.mem_read(0x100, 16) == bytes([2]) * 16
+        assert oracle2.registers().read(HMC_REG["EDR3"]) == 0x77
+
+    def test_mid_run_save_restore_continues_identically(self, cfg4, tmp_path):
+        from repro.oracle import Oracle
+
+        sim, oracle = self._pair(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json", oracle=oracle)
+        sim2, oracle2 = HMCSim(cfg4), Oracle(cfg4)
+        restore_checkpoint(sim2, p, oracle=oracle2)
+        # The second half of the run plays out on both pairs; the
+        # restored pair must stay bit-identical to the original.
+        for pair_sim, pair_oracle in ((sim, oracle), (sim2, oracle2)):
+            for i in range(8, 16):
+                data = bytes([i + 1]) * 16
+                pair_sim.mem_write(0x100 * i, data)
+                pair_oracle.mem_write(0x100 * i, data)
+        assert oracle2.snapshot_state() == oracle.snapshot_state()
+        assert sim2.mem_read(0, 0x100 * 16) == sim.mem_read(0, 0x100 * 16)
+
+    def test_v3_file_restores_without_oracle_state(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.mem_write(0x40, b"\x03" + bytes(15))
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())
+        doc["version"] = 3
+        doc.pop("oracle")
+        p.write_text(json.dumps(doc))
+        sim2 = HMCSim(cfg4)
+        restore_checkpoint(sim2, p)
+        assert sim2.mem_read(0x40, 16) == b"\x03" + bytes(15)
+
+    def test_oracle_state_needs_oracle(self, cfg4, tmp_path):
+        from repro.oracle import Oracle
+
+        sim, oracle = self._pair(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json", oracle=oracle)
+        with pytest.raises(HMCSimError, match="oracle"):
+            restore_checkpoint(HMCSim(cfg4), p)
+
+    def test_oracle_shape_mismatch_rejected(self, cfg4, cfg8):
+        from repro.oracle import Oracle
+
+        doc = Oracle(cfg4).snapshot_state()
+        with pytest.raises(HMCSimError, match="shape"):
+            Oracle(cfg8).restore_state(doc)
+
+
 class TestGuards:
     def test_cannot_checkpoint_in_flight(self, cfg4, tmp_path):
         sim = HMCSim(cfg4)

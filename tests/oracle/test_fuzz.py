@@ -56,3 +56,35 @@ def test_faulty_profile_actually_faults():
 def test_clean_profile_reports_no_fault_counts():
     result = run_trace(generate_trace(0, profile="spec", count=32))
     assert result.ok and result.fault_counts == {}
+
+
+def test_faulty_profile_survives_lossy_faults():
+    # The faulty profile carries response-destroying kinds (xbar_drop,
+    # xbar_dup, link_crc): the differ's watchdog must turn losses into
+    # retransmits and duplicate deliveries into suppressions — not
+    # mismatches, not deadlocks.
+    trace = generate_trace(0, profile="faulty", count=64)
+    assert any(s.startswith("xbar_drop") for s in trace.fault_specs)
+    assert any(s.startswith("xbar_dup") for s in trace.fault_specs)
+    assert any(s.startswith("link_crc") for s in trace.fault_specs)
+    retransmits = dups = 0
+    for seed in range(8):
+        result = run_trace(
+            generate_trace(seed, profile="faulty", count=64)
+        )
+        assert result.ok, "\n".join(m.describe() for m in result.mismatches)
+        assert result.skipped is None
+        retransmits += result.retransmits
+        dups += result.duplicates_suppressed
+    assert retransmits > 0
+    assert dups > 0
+
+
+@pytest.mark.parametrize("xbar", ["queued", "vector"])
+def test_faulty_profile_survives_on_both_engines(xbar):
+    for seed in (0, 3):
+        result = run_trace(
+            generate_trace(seed, profile="faulty", count=64),
+            config_overrides={"xbar": xbar},
+        )
+        assert result.ok, "\n".join(m.describe() for m in result.mismatches)
