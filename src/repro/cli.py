@@ -33,6 +33,7 @@ kinds.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace as _replace
 from typing import List, Optional, Sequence, Tuple
@@ -416,6 +417,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread axis for the sweep anchors (default 2:100)",
     )
     _add_jobs_args(p_verify)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service (warm sessions on a socket)"
+    )
+    p_serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket path to listen on",
+    )
+    p_serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="session directories (journals, checkpoints, results); "
+        "a restarted server resumes every session found here",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=8, metavar="N",
+        help="admission cap on concurrently live sessions (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=256, metavar="N",
+        help="per-session submission quota (default 256)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="bounded per-session queue; full = submits wait (default 16)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="fence (drain+checkpoint) every N-th submission (default 1)",
+    )
+    p_serve.add_argument(
+        "--sweep-jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep submissions (0 = all cores)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep result cache root (default: the shared cache)",
+    )
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running simulation service"
+    )
+    p_client.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket path of the server",
+    )
+    client_sub = p_client.add_subparsers(dest="client_command", required=True)
+    p_csubmit = client_sub.add_parser(
+        "submit", help="create-or-reuse a session and submit work"
+    )
+    p_csubmit.add_argument(
+        "--session", default=None, metavar="NAME",
+        help="session to submit to (created if it does not exist)",
+    )
+    p_csubmit.add_argument(
+        "--config", choices=["4link_4gb", "8link_8gb"], default="4link_4gb",
+        help="configuration for a newly created session",
+    )
+    p_csubmit.add_argument(
+        "--kind", choices=["workload", "raw", "sweep"], default="workload",
+        help="submission kind (default workload)",
+    )
+    p_csubmit.add_argument(
+        "spec", help="submission spec as JSON, e.g. "
+        '\'{"workload": "mutex", "params": {"threads": 8}}\'',
+    )
+    p_csubmit.add_argument(
+        "--no-wait", action="store_true",
+        help="return after the ack instead of waiting for the result",
+    )
+    _add_component_arg(p_csubmit)
+    p_cattach = client_sub.add_parser(
+        "attach", help="stream a session's results and telemetry"
+    )
+    p_cattach.add_argument("session", help="session name")
+    p_cattach.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="stop after N live stream messages (default: until EOF)",
+    )
+    p_cstat = client_sub.add_parser(
+        "stat", help="show server or session telemetry"
+    )
+    p_cstat.add_argument("session", nargs="?", default=None)
 
     sub.add_parser("info", help="show command space and configurations")
     return parser
@@ -860,6 +943,109 @@ def _cmd_fuzz(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, SimServer
+
+    server = SimServer(
+        ServeConfig(
+            socket_path=args.socket,
+            state_dir=args.state_dir,
+            max_sessions=args.max_sessions,
+            max_requests_per_session=args.max_requests,
+            queue_depth=args.queue_depth,
+            checkpoint_every=args.checkpoint_every,
+            sweep_jobs=args.sweep_jobs,
+            cache_root=args.cache_dir,
+        )
+    )
+    out.write(f"serving on {args.socket} (state in {args.state_dir})\n")
+    out.flush()
+    asyncio.run(server.run())
+    out.write("drained; all live sessions checkpointed\n")
+    return 0
+
+
+def _client_submit(client, args, out) -> int:
+    from repro.errors import ServeError
+    from repro.serve import schemas
+
+    spec = json.loads(args.spec)
+    session = args.session
+    if session is not None:
+        try:
+            client.stat(session)
+        except ServeError as exc:
+            if exc.code != "unknown_session":
+                raise
+            session = None
+    if session is None:
+        components = dict(args.components or [])
+        session = client.create(
+            args.config,
+            components=components or None,
+            session=args.session,
+        )
+    reply = client.submit(session, args.kind, spec, wait=not args.no_wait)
+    if args.no_wait:
+        out.write(
+            f"session {session} submission {reply['submission']} queued\n"
+        )
+        return 0
+    out.write(
+        schemas.canonical_json(
+            {
+                "session": session,
+                "submission": reply["submission"],
+                "status": reply["status"],
+                "payload": reply.get("payload"),
+                "error": reply.get("error"),
+            }
+        )
+        + "\n"
+    )
+    return 0 if reply["status"] == "done" else 1
+
+
+def _client_attach(client, args, out) -> int:
+    from repro.serve import schemas
+
+    reply = client.attach(args.session, replay=True)
+    out.write(schemas.canonical_json(reply["snapshot"]) + "\n")
+    for msg in reply.get("history", []):
+        out.write(schemas.canonical_json(msg) + "\n")
+    try:
+        for msg in client.events(max_events=args.max_events):
+            out.write(schemas.canonical_json(msg) + "\n")
+            out.flush()
+    except Exception:
+        # Server drained or the socket timed out: the stream is over.
+        pass
+    return 0
+
+
+def _cmd_client(args, out) -> int:
+    from repro.errors import ServeError
+    from repro.serve import schemas
+    from repro.serve.client import ServeClient
+
+    try:
+        with ServeClient(args.socket) as client:
+            if args.client_command == "submit":
+                return _client_submit(client, args, out)
+            if args.client_command == "attach":
+                return _client_attach(client, args, out)
+            reply = client.stat(args.session)
+            doc = {k: v for k, v in reply.items() if k not in ("type", "id")}
+            out.write(schemas.canonical_json(doc) + "\n")
+            return 0
+    except ServeError as exc:
+        # Structured refusal: machine code first so scripts can match it.
+        out.write(f"error {exc.code}: {exc}\n")
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -894,6 +1080,10 @@ def _dispatch(args, out) -> int:
         return _cmd_analyze(args, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "client":
+        return _cmd_client(args, out)
     if args.command == "verify":
         from repro.analysis.verify import render_verification_report, verify_all
 

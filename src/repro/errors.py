@@ -110,6 +110,22 @@ class WorkloadError(HMCSimError):
     """
 
 
+class ServeError(HMCSimError):
+    """A simulation-service request was rejected.
+
+    Raised by the serve layer (:mod:`repro.serve`) for protocol
+    violations, admission-control refusals, and per-session quota
+    breaches.  Carries a machine-readable ``code`` (``bad_request``,
+    ``over_capacity``, ``quota_exceeded``, ``unknown_session``,
+    ``protocol_version``, ``draining``, ``internal``) so remote clients
+    can dispatch on the refusal without parsing prose.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
 class FaultError(HMCSimError):
     """A fault-injection plan could not be parsed, registered, or built.
 

@@ -65,6 +65,25 @@ CHECKPOINT_VERSION = 4
 _SUPPORTED_VERSIONS = (2, 3, 4)
 
 
+def _fingerprint_diff(
+    want: Dict[str, object], got: Dict[str, object]
+) -> str:
+    """Name exactly the fingerprint fields that differ.
+
+    The serve layer surfaces checkpoint rejections verbatim to remote
+    clients, so "those two dicts differ somewhere" is not a usable
+    diagnostic — the message must say *which* field diverged and what
+    each side holds.
+    """
+    diffs = [
+        f"{key}: checkpoint has {got.get(key, '<absent>')!r}, "
+        f"target has {want.get(key, '<absent>')!r}"
+        for key in sorted(set(want) | set(got))
+        if want.get(key) != got.get(key)
+    ]
+    return "; ".join(diffs)
+
+
 def _config_fingerprint(sim: HMCSim) -> Dict[str, object]:
     cfg = sim.config
     fp: Dict[str, object] = {
@@ -241,10 +260,20 @@ def _restore_faults(sim: HMCSim, doc: object) -> None:
             "context has no fault plan attached"
         )
     if (ctl.plan.describe(), ctl.plan.seed) != (doc["plan"], doc["seed"]):
+        diffs = []
+        if ctl.plan.describe() != doc["plan"]:
+            diffs.append(
+                f"plan: checkpoint has [{doc['plan']}], "
+                f"target has [{ctl.plan.describe()}]"
+            )
+        if ctl.plan.seed != doc["seed"]:
+            diffs.append(
+                f"seed: checkpoint has {doc['seed']:#x}, "
+                f"target has {ctl.plan.seed:#x}"
+            )
         raise HMCSimError(
-            f"checkpoint fault plan [{doc['plan']} seed={doc['seed']:#x}] "
-            f"does not match the target plan [{ctl.plan.describe()} "
-            f"seed={ctl.plan.seed:#x}]"
+            "checkpoint fault plan does not match the target plan: "
+            + "; ".join(diffs)
         )
     ctl.counts = dict(doc["counts"])
     ctl.lost_tags = {(cub, tag) for cub, tag in doc["lost_tags"]}
@@ -350,6 +379,14 @@ def save_checkpoint(
         for base_addr, content in sim.backend.iter_resident()
     ]
     registers = [dev.registers.snapshot() for dev in sim.devices]
+    # CMC operations: code is never serialized, but the *identity* of
+    # each loaded plugin (its importable source) and its execution
+    # counter are — so a restored context reports the same cumulative
+    # cmc_executions a warm uninterrupted context would.
+    cmc_ops = [
+        {"source": op.source, "cmd": op.cmd, "executions": op.executions}
+        for op in sim.cmc.operations()
+    ]
     doc = {
         "version": CHECKPOINT_VERSION,
         "config": _config_fingerprint(sim),
@@ -363,6 +400,7 @@ def save_checkpoint(
         "registers": registers,
         "topology": _encode_topology(sim),
         "outstanding": sorted(sim._outstanding),
+        "cmc": cmc_ops,
         "faults": _encode_faults(sim),
         "watchdog": None if watchdog is None else _encode_watchdog(watchdog),
         "oracle": None if oracle is None else oracle.snapshot_state(),
@@ -384,8 +422,12 @@ def restore_checkpoint(
 
     The target context must have an equivalent configuration —
     including the same component selection for every pipeline seam,
-    and the same fault plan when the checkpoint carries fault state —
-    and CMC plugins must be re-loaded by the caller afterwards.  When
+    and the same fault plan when the checkpoint carries fault state.
+    CMC plugins recorded with an importable source are re-loaded
+    automatically (with their execution counters restored); inline
+    registrations must be re-registered by the caller *before*
+    restoring, and checkpoints from before the ``cmc`` capture leave
+    plugin reloading to the caller entirely.  When
     the checkpoint holds watchdog state, pass the (identically
     parameterized) target watchdog via ``watchdog=``; when it holds an
     oracle document, pass the target reference model (anything with
@@ -402,15 +444,17 @@ def restore_checkpoint(
         )
     doc = json.loads(Path(path).read_text())
     if doc.get("version") not in _SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
         raise HMCSimError(
-            f"checkpoint version {doc.get('version')} is not supported "
-            f"(expected one of {_SUPPORTED_VERSIONS})"
+            f"checkpoint {Path(path).name} has version {doc.get('version')!r}, "
+            f"which this build does not support (supported versions: "
+            f"{supported}; current save version: {CHECKPOINT_VERSION})"
         )
     want = _config_fingerprint(sim)
     if doc["config"] != want:
         raise HMCSimError(
-            f"checkpoint configuration {doc['config']} does not match the "
-            f"target context {want}"
+            "checkpoint configuration does not match the target context: "
+            + _fingerprint_diff(want, doc["config"])
         )
     sim.backend.clear()
     for page in doc["pages"]:
@@ -427,6 +471,18 @@ def restore_checkpoint(
     sim.recvd_rsps = counters["recvd_rsps"]
     _restore_topology(sim, doc["topology"])
     sim._outstanding = set(doc.get("outstanding", ()))
+    for entry in doc.get("cmc", ()):
+        op = sim.cmc.lookup(entry["cmd"])
+        if op is None:
+            if entry["source"] == "<inline>":
+                raise HMCSimError(
+                    f"checkpoint carries CMC operation for command code "
+                    f"{entry['cmd']} registered inline — re-register it "
+                    f"on the target context before restoring"
+                )
+            sim.load_cmc(entry["source"])
+            op = sim.cmc.get(entry["cmd"])
+        op.executions = entry["executions"]
     _restore_faults(sim, doc.get("faults"))
     wd_doc = doc.get("watchdog")
     if wd_doc is not None:

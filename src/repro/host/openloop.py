@@ -76,7 +76,15 @@ class OpenLoopStats:
 
     @property
     def achieved_rate(self) -> float:
-        """Completed requests per cycle over the injection window."""
+        """Completed requests per cycle over the injection window.
+
+        A zero-length window (``duration=0``, or a depth-gated run whose
+        stream never opened a measured window) completed nothing per
+        cycle: 0.0, not a ``ZeroDivisionError`` — which would also
+        poison :attr:`saturated`.
+        """
+        if self.duration <= 0:
+            return 0.0
         return self.completed / self.duration
 
     @property

@@ -116,7 +116,16 @@ class SweepExecutor:
         chunks = self._chunk([specs[i] for i in pending], workers)
         ctx = self.mp_context or multiprocessing.get_context()
         cursor = 0
-        with ctx.Pool(processes=workers) as pool:
+        # Explicit terminate-on-error cleanup rather than the bare
+        # ``with`` block: a worker exception surfacing from ``imap`` (or
+        # a KeyboardInterrupt in the parent) must kill the outstanding
+        # workers *and* reap them before the exception propagates —
+        # ``Pool.__exit__`` terminates but never joins, which leaves
+        # orphaned pool processes behind exactly when a long-lived
+        # caller (the serve fleet multiplexes sessions over this pool)
+        # would accumulate them.
+        pool = ctx.Pool(processes=workers)
+        try:
             for chunk_results in pool.imap(_run_chunk, chunks):
                 for result in chunk_results:
                     i = pending[cursor]
@@ -124,6 +133,12 @@ class SweepExecutor:
                     results[i] = self._finish(specs[i], result)
                     done += 1
                     self.progress(done, total, specs[i], False)
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
         return results
 
     def _finish(self, spec: TaskSpec, result: Any) -> Any:

@@ -1,0 +1,30 @@
+"""Simulation-as-a-service: warm sessions over a local socket.
+
+The serve layer keeps a fleet of warm :class:`~repro.hmc.sim.HMCSim`
+contexts alive behind an asyncio front end, so many concurrent clients
+can submit workloads, raw request streams, and sweeps without paying
+context construction per run — and so a killed server resumes every
+mid-flight session from its checkpoint, bit-identically.
+
+Modules:
+
+:mod:`repro.serve.schemas`
+    The wire contract: versioned line-delimited JSON messages,
+    validation, and the lossless result-value codec.
+:mod:`repro.serve.session`
+    :class:`~repro.serve.session.SimSession`: one warm simulator with
+    a durable submission journal and checkpoint-fenced execution.
+:mod:`repro.serve.server`
+    :class:`~repro.serve.server.SimServer`: the accept loop, admission
+    control, quotas, backpressure, and graceful drain.
+:mod:`repro.serve.client`
+    :class:`~repro.serve.client.ServeClient`: the synchronous client
+    the CLI subcommands use.
+
+See ``docs/SERVICE.md`` for the protocol and operational contract.
+"""
+
+from repro.errors import ServeError
+from repro.serve.schemas import PROTOCOL_VERSION
+
+__all__ = ["PROTOCOL_VERSION", "ServeError"]

@@ -1,0 +1,611 @@
+"""Warm simulator sessions with journaled, checkpoint-fenced execution.
+
+A :class:`SimSession` owns one long-lived :class:`~repro.hmc.sim.HMCSim`
+and executes submissions against it **serially, as fenced segments**:
+run → ``sim.drain()`` → checkpoint.  The fence discipline is what makes
+restart exact — generator-based thread programs cannot be serialized
+mid-flight, but a *quiesced* device checkpoints completely
+(checkpoint v4), and the simulator is deterministic, so:
+
+    restore last checkpoint + re-execute the journaled submissions
+    after it  ==  the uninterrupted run, bit for bit.
+
+The session directory is the durable record::
+
+    <root>/<name>/
+        meta.json        identity + the submission journal
+        checkpoint.json  the last fence (written every
+                         ``checkpoint_every`` submissions)
+        result-<seq>.json  canonical result payload per submission
+
+``meta.json`` is written *before* a submission executes (accepted work
+survives a crash) and again after (status flips to ``done``/``failed``,
+``checkpointed_through`` advances with each fence).  :meth:`load`
+replays everything after ``checkpointed_through`` — including
+submissions already marked done whose effects the checkpoint predates;
+re-execution regenerates byte-identical results.
+
+States move ``CREATED → RUNNING → DRAINING → CLOSED``: RUNNING on the
+first submission, DRAINING once the server stops accepting new work
+(SIGTERM or ``close``), CLOSED after the final fence.
+
+Submission kinds (validated in :mod:`repro.serve.schemas`):
+
+``workload``
+    ``{"workload": name, "params": {...}}`` — resolved through
+    :data:`~repro.workloads.registry.WORKLOADS` *by string only* (the
+    workload-containment discipline), run on the warm sim.
+``raw``
+    ``{"requests": [{"cmd", "addr", "data"?, "link"?}, ...]}`` — a
+    pipelined request stream driven directly; per-request responses
+    come back in issue order.
+``sweep``
+    ``{"workload": name, "threads": [...]}`` — fanned over the shared
+    :class:`~repro.parallel.pool.SweepExecutor`; never touches the
+    session sim, and the on-disk cache dedups identical points across
+    every session and client.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, replace as _replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import HMCSimError, HMCStatus, ServeError
+from repro.serve.schemas import canonical_json, encode_value
+
+__all__ = ["SessionState", "SubmissionRecord", "SimSession", "build_session_config"]
+
+_META_VERSION = 1
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of one warm session."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    DRAINING = "draining"
+    CLOSED = "closed"
+
+
+@dataclass
+class SubmissionRecord:
+    """One journaled submission."""
+
+    seq: int
+    kind: str
+    spec: Dict[str, Any]
+    status: str = "pending"  # pending | done | failed
+    error: Optional[str] = None
+
+
+def build_session_config(config_name: str, components: Dict[str, str]):
+    """An :class:`~repro.hmc.config.HMCConfig` for a ``create`` request.
+
+    Component overrides are validated against the registry up front so
+    a bad seam/impl is a structured ``bad_request`` refusal, not a
+    session that dies on first submit.
+    """
+    from repro.hmc.composition import SEAM_FIELDS, validate_selection
+    from repro.hmc.config import HMCConfig
+
+    builders = {
+        "4link_4gb": HMCConfig.cfg_4link_4gb,
+        "8link_8gb": HMCConfig.cfg_8link_8gb,
+    }
+    try:
+        cfg = builders[config_name]()
+    except KeyError:
+        raise ServeError(
+            "bad_request",
+            f"unknown config {config_name!r} "
+            f"(have: {', '.join(sorted(builders))})",
+        ) from None
+    overrides = {}
+    for seam, key in sorted(components.items()):
+        if seam not in SEAM_FIELDS:
+            raise ServeError(
+                "bad_request",
+                f"unknown component seam {seam!r} "
+                f"(have: {', '.join(SEAM_FIELDS)})",
+            )
+        try:
+            validate_selection(seam, key)
+        except HMCSimError as exc:  # ComponentError or HMCConfigError
+            raise ServeError("bad_request", str(exc)) from None
+        overrides[SEAM_FIELDS[seam]] = key
+    return _replace(cfg, **overrides) if overrides else cfg
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Crash-safe file replace (same pattern as the sweep cache)."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SimSession:
+    """One warm simulator with a durable submission journal.
+
+    Args:
+        name: session name (also the directory name under ``root``).
+        config_name: named device configuration.
+        components: ``{seam: impl}`` pipeline overrides.
+        root: parent directory for the session directory.
+        checkpoint_every: fence (drain + checkpoint) after every N-th
+            completed submission; 1 fences every submission.
+        sweep_runner: ``(specs) -> results`` callable for sweep
+            submissions; the server injects one bound to the shared
+            executor + disk cache.  ``None`` runs them in-process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config_name: str,
+        components: Optional[Dict[str, str]] = None,
+        *,
+        root: Path,
+        checkpoint_every: int = 1,
+        sweep_runner: Optional[Callable[[List[Any]], List[Any]]] = None,
+    ) -> None:
+        self.name = name
+        self.config_name = config_name
+        self.components = dict(components or {})
+        self.root = Path(root) / name
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.sweep_runner = sweep_runner
+        self.state = SessionState.CREATED
+        self.submissions: List[SubmissionRecord] = []
+        self.checkpointed_through = 0
+        self.resumed = False
+
+        self.config = build_session_config(config_name, self.components)
+        from repro.hmc.sim import HMCSim
+
+        self.sim = HMCSim(self.config)
+        self.root.mkdir(parents=True, exist_ok=False)
+        self._persist_meta()
+
+    # -- durability -----------------------------------------------------------
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "meta.json"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.root / "checkpoint.json"
+
+    def result_path(self, seq: int) -> Path:
+        return self.root / f"result-{seq}.json"
+
+    def _persist_meta(self) -> None:
+        doc = {
+            "meta_version": _META_VERSION,
+            "name": self.name,
+            "config": self.config_name,
+            "components": self.components,
+            "state": self.state.value,
+            "checkpointed_through": self.checkpointed_through,
+            "submissions": [asdict(rec) for rec in self.submissions],
+        }
+        _atomic_write(self.meta_path, json.dumps(doc, sort_keys=True, indent=1))
+
+    @classmethod
+    def load(
+        cls,
+        session_dir: Path,
+        *,
+        checkpoint_every: int = 1,
+        sweep_runner: Optional[Callable[[List[Any]], List[Any]]] = None,
+    ) -> "SimSession":
+        """Rebuild a session from its directory.
+
+        Restores the last checkpoint (when one exists) and rewinds the
+        journal so every submission after ``checkpointed_through`` —
+        finished or not — is pending again; the server re-executes them
+        in order, regenerating byte-identical results.
+        """
+        session_dir = Path(session_dir)
+        try:
+            doc = json.loads((session_dir / "meta.json").read_text())
+        except (OSError, ValueError) as exc:
+            raise ServeError(
+                "internal", f"cannot load session at {session_dir}: {exc}"
+            ) from None
+        self = cls.__new__(cls)
+        self.name = doc["name"]
+        self.config_name = doc["config"]
+        self.components = dict(doc["components"])
+        self.root = session_dir
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.sweep_runner = sweep_runner
+        self.checkpointed_through = int(doc["checkpointed_through"])
+        self.submissions = [
+            SubmissionRecord(**rec) for rec in doc["submissions"]
+        ]
+        self.resumed = True
+
+        self.config = build_session_config(self.config_name, self.components)
+        from repro.hmc.sim import HMCSim
+
+        self.sim = HMCSim(self.config)
+        if self.checkpoint_path.exists():
+            from repro.hmc.checkpoint import restore_checkpoint
+
+            restore_checkpoint(self.sim, self.checkpoint_path)
+
+        # Everything past the last fence re-executes (deterministically
+        # identical), including submissions that finished — or failed,
+        # leaving partial side effects — whose effects the checkpoint
+        # predates.
+        for rec in self.submissions:
+            if rec.seq > self.checkpointed_through and rec.status != "pending":
+                rec.status = "pending"
+                rec.error = None
+        closed = doc["state"] == SessionState.CLOSED.value
+        if closed and not self.pending():
+            self.state = SessionState.CLOSED
+        elif any(rec.status != "pending" for rec in self.submissions) or self.pending():
+            self.state = SessionState.RUNNING
+        else:
+            self.state = SessionState.CREATED
+        self._persist_meta()
+        return self
+
+    # -- the journal ----------------------------------------------------------
+
+    def accept(self, kind: str, spec: Dict[str, Any]) -> int:
+        """Journal one submission; returns its sequence number.
+
+        The journal write happens *before* execution: once a client has
+        its ack, the work survives a server kill.
+        """
+        if self.state in (SessionState.DRAINING, SessionState.CLOSED):
+            raise ServeError(
+                "draining",
+                f"session {self.name!r} is {self.state.value} and not "
+                f"accepting submissions",
+            )
+        self._validate_spec(kind, spec)
+        seq = len(self.submissions) + 1
+        self.submissions.append(SubmissionRecord(seq=seq, kind=kind, spec=spec))
+        self._persist_meta()
+        return seq
+
+    def pending(self) -> List[SubmissionRecord]:
+        return [rec for rec in self.submissions if rec.status == "pending"]
+
+    def _validate_spec(self, kind: str, spec: Dict[str, Any]) -> None:
+        from repro.workloads.registry import WORKLOADS
+
+        if kind == "workload":
+            name = spec.get("workload")
+            if not isinstance(name, str) or not WORKLOADS.has(name):
+                raise ServeError(
+                    "bad_request",
+                    f"unknown workload {name!r} "
+                    f"(have: {', '.join(WORKLOADS.keys())})",
+                )
+            if not isinstance(spec.get("params", {}), dict):
+                raise ServeError("bad_request", "'params' must be an object")
+        elif kind == "raw":
+            requests = spec.get("requests")
+            if not isinstance(requests, list) or not requests:
+                raise ServeError(
+                    "bad_request", "'requests' must be a non-empty list"
+                )
+            from repro.hmc.commands import hmc_rqst_t
+
+            for i, rq in enumerate(requests):
+                if not isinstance(rq, dict):
+                    raise ServeError("bad_request", f"request {i} must be an object")
+                cmd = rq.get("cmd")
+                if not isinstance(cmd, str) or cmd not in hmc_rqst_t.__members__:
+                    raise ServeError(
+                        "bad_request", f"request {i}: unknown command {cmd!r}"
+                    )
+                if not isinstance(rq.get("addr"), int):
+                    raise ServeError(
+                        "bad_request", f"request {i}: 'addr' must be an integer"
+                    )
+        elif kind == "sweep":
+            name = spec.get("workload")
+            if not isinstance(name, str) or not WORKLOADS.has(name):
+                raise ServeError(
+                    "bad_request",
+                    f"unknown workload {name!r} "
+                    f"(have: {', '.join(WORKLOADS.keys())})",
+                )
+            frontend = WORKLOADS.get(name)
+            if not hasattr(frontend, "task_spec"):
+                raise ServeError(
+                    "bad_request",
+                    f"workload {name!r} cannot be swept (no task_spec)",
+                )
+            threads = spec.get("threads")
+            if (
+                not isinstance(threads, list)
+                or not threads
+                or not all(isinstance(t, int) and t > 0 for t in threads)
+            ):
+                raise ServeError(
+                    "bad_request",
+                    "'threads' must be a non-empty list of positive integers",
+                )
+        else:  # pragma: no cover - schemas rejects unknown kinds first
+            raise ServeError("bad_request", f"unknown submission kind {kind!r}")
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_next(self) -> Optional[SubmissionRecord]:
+        """Run the oldest pending submission as one fenced segment.
+
+        Returns the finished record (status ``done``/``failed``) or
+        ``None`` when nothing is pending.  Simulation errors fail the
+        *submission*, not the session: the sim is drained and fenced so
+        later submissions start from a quiesced, checkpointed state.
+        """
+        queue = self.pending()
+        if not queue:
+            return None
+        rec = queue[0]
+        if self.state == SessionState.CREATED:
+            self.state = SessionState.RUNNING
+        try:
+            if rec.kind == "workload":
+                payload = self._run_workload(rec.spec)
+            elif rec.kind == "raw":
+                payload = self._run_raw(rec.spec)
+            else:
+                payload = self._run_sweep(rec.spec)
+            rec.status = "done"
+        except (HMCSimError, ValueError) as exc:
+            rec.status = "failed"
+            rec.error = f"{type(exc).__name__}: {exc}"
+            payload = None
+        # The fence: quiesce, persist the result, advance the journal,
+        # checkpoint.  Order matters — the result file must exist
+        # before meta marks the submission done.
+        self.sim.drain()
+        self._reap_orphans()
+        if payload is not None:
+            _atomic_write(self.result_path(rec.seq), canonical_json(payload))
+        fence = (
+            rec.seq % self.checkpoint_every == 0
+            or not self.pending()
+        )
+        if fence:
+            self._save_fence(rec.seq)
+        self._persist_meta()
+        return rec
+
+    def _executed_through(self) -> int:
+        """The highest seq whose effects the sim state contains.
+
+        Segments run serially in seq order, so the executed set is a
+        prefix; never below ``checkpointed_through`` (a resumed session
+        may not have re-executed anything yet).
+        """
+        return max(
+            [rec.seq for rec in self.submissions if rec.status != "pending"],
+            default=self.checkpointed_through,
+        )
+
+    def _reap_orphans(self) -> None:
+        """Receive-and-discard responses nobody claimed.
+
+        A failed segment (e.g. a deadlocked workload) leaves its
+        threads' in-flight responses in the retire buffers with their
+        tags still outstanding; unclaimed they would poison the next
+        submission with spurious tag collisions.  After a successful
+        segment this is a no-op.
+        """
+        for link in range(self.sim.config.num_links):
+            while self.sim.recv_batch(link=link):
+                pass
+
+    def _save_fence(self, through_seq: int) -> None:
+        from repro.hmc.checkpoint import save_checkpoint
+
+        save_checkpoint(self.sim, self.checkpoint_path)
+        self.checkpointed_through = through_seq
+
+    def load_result(self, seq: int) -> Optional[Any]:
+        """The stored canonical payload for submission ``seq`` (or None)."""
+        path = self.result_path(seq)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- submission kinds -----------------------------------------------------
+
+    def _run_workload(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.workloads.registry import WORKLOADS
+
+        name = spec["workload"]
+        frontend = WORKLOADS.get(name)
+        params = frontend.resolve_params(spec.get("params") or {})
+        if frontend.accepts_sim:
+            # Warm path: device state accumulates across submissions.
+            # prepare() is called here because the kernel adapters'
+            # run() delegates assume a caller-provided sim already has
+            # its CMC ops loaded (prepare is idempotent by contract).
+            frontend.prepare(self.sim, params)
+            stats = frontend.run(self.config, params, sim=self.sim)
+        else:
+            # Frontends that must build their own context (multi-phase
+            # kernels, trace replay) run cold; still deterministic, so
+            # journal replay regenerates identical results.
+            stats = frontend.run(self.config, params)
+        return {
+            "workload": name,
+            "warm": frontend.accepts_sim,
+            "fingerprint": WORKLOADS.fingerprint(name),
+            "stats": encode_value(stats),
+        }
+
+    def _run_raw(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Drive a pipelined request stream on the warm sim.
+
+        Requests issue in order (stalls retry after a clock), responses
+        are matched back to issue order by tag; the stream then drains
+        to the fence.
+        """
+        from repro.hmc.commands import hmc_rqst_t
+
+        sim = self.sim
+        requests = spec["requests"]
+        max_cycles = int(spec.get("max_cycles", 100_000))
+        num_links = sim.config.num_links
+        free_tags = list(range(min(0x800, 2 * len(requests) + 4)))
+        tag_to_index: Dict[int, int] = {}
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        cycles = 0
+
+        def collect() -> None:
+            for link in range(num_links):
+                for rsp in sim.recv_batch(link=link):
+                    idx = tag_to_index.pop(rsp.tag)
+                    free_tags.append(rsp.tag)
+                    responses[idx] = {
+                        "index": idx,
+                        "data": base64.b64encode(rsp.data).decode("ascii")
+                        if rsp.data
+                        else "",
+                        "cycle": sim.cycle,
+                    }
+
+        for idx, rq in enumerate(requests):
+            cmd = hmc_rqst_t[rq["cmd"]]
+            data = bytes.fromhex(rq.get("data", "") or "")
+            link = int(rq.get("link", idx % num_links)) % num_links
+            while not free_tags:
+                sim.clock()
+                collect()
+                cycles += 1
+                if cycles > max_cycles:
+                    raise ServeError(
+                        "internal", "raw stream exceeded max_cycles (tags)"
+                    )
+            tag = free_tags.pop()
+            pkt = sim.build_memrequest(cmd, rq["addr"], tag, data=data)
+            while True:
+                status = sim.send(pkt, link=link)
+                if status is not HMCStatus.STALL:
+                    break
+                sim.clock()
+                collect()
+                cycles += 1
+                if cycles > max_cycles:
+                    raise ServeError(
+                        "internal", "raw stream exceeded max_cycles (stall)"
+                    )
+            if sim._expects_response(pkt):
+                tag_to_index[tag] = idx
+            else:
+                free_tags.append(tag)
+                responses[idx] = {"index": idx, "data": "", "cycle": -1}
+
+        while tag_to_index and cycles <= max_cycles:
+            sim.clock()
+            collect()
+            cycles += 1
+        if tag_to_index:
+            raise ServeError("internal", "raw stream failed to drain")
+        return {
+            "responses": [r for r in responses if r is not None],
+            "issued": len(requests),
+            "cycle": sim.cycle,
+        }
+
+    def _run_sweep(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Fan a thread sweep over the shared executor + disk cache.
+
+        Never touches the session sim, so concurrent sessions
+        submitting the same sweep points share work through the cache's
+        fingerprint keys rather than re-simulating.
+        """
+        from repro.parallel.tasks import run_task
+        from repro.workloads.registry import WORKLOADS
+
+        name = spec["workload"]
+        frontend = WORKLOADS.get(name)
+        threads = spec["threads"]
+        params = spec.get("params") or {}
+        specs = [
+            frontend.task_spec(self.config, int(n), **params) for n in threads
+        ]
+        if self.sweep_runner is not None:
+            results = self.sweep_runner(specs)
+        else:
+            results = [run_task(s) for s in specs]
+        return {
+            "workload": name,
+            "fingerprint": WORKLOADS.fingerprint(name),
+            "threads": list(threads),
+            "results": [encode_value(r) for r in results],
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting; fence the current state durably.
+
+        Pending journaled submissions stay journaled — a restarted
+        server re-executes them — but nothing new is admitted.
+        """
+        if self.state == SessionState.CLOSED:
+            return
+        self.state = SessionState.DRAINING
+        self.sim.drain()
+        # The checkpoint captures the sim *after* every executed
+        # submission (segments are serial and each ends quiesced), so
+        # the fence label must advance to the last executed seq — a
+        # stale label would make resume replay work the snapshot
+        # already contains, on top of itself.
+        self._save_fence(self._executed_through())
+        self._persist_meta()
+
+    def close(self) -> None:
+        """Final fence; the session directory remains readable."""
+        if self.state == SessionState.CLOSED:
+            return
+        self.sim.drain()
+        self._save_fence(self._executed_through())
+        self.state = SessionState.CLOSED
+        self._persist_meta()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Telemetry view of the session."""
+        by_status: Dict[str, int] = {"pending": 0, "done": 0, "failed": 0}
+        for rec in self.submissions:
+            by_status[rec.status] = by_status.get(rec.status, 0) + 1
+        return {
+            "session": self.name,
+            "state": self.state.value,
+            "config": self.config_name,
+            "components": dict(self.components),
+            "cycle": self.sim.cycle,
+            "submissions": len(self.submissions),
+            "pending": by_status["pending"],
+            "done": by_status["done"],
+            "failed": by_status["failed"],
+            "checkpointed_through": self.checkpointed_through,
+            "resumed": self.resumed,
+        }

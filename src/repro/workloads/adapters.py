@@ -93,7 +93,10 @@ class MutexWorkload(KernelAdapter):
     def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
         from repro.cmc_ops.mutex import init_lock, load_mutex_ops
 
-        if not sim.cmc.operations():
+        # Guard on this bundle's own command codes, not "any ops": a
+        # warm context (serve session) may already carry a different
+        # workload's CMC family.
+        if sim.cmc.lookup(125) is None:
             load_mutex_ops(sim)
         init_lock(sim, params["lock_addr"])
 
@@ -171,7 +174,7 @@ class TicketWorkload(KernelAdapter):
     def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
         from repro.cmc_ops.ticket import init_ticket_lock, load_ticket_ops
 
-        if not sim.cmc.operations():
+        if sim.cmc.lookup(21) is None:
             load_ticket_ops(sim)
         init_ticket_lock(sim, params["lock_addr"])
 
@@ -223,6 +226,7 @@ class StreamWorkload(KernelAdapter):
 
     name = "stream"
     description = "STREAM Triad bandwidth kernel (a = b + q*c)"
+    accepts_sim = False
 
     #: Array bases, 1 MiB apart (the legacy layout).
     _BASES = (1 << 20, 2 << 20, 3 << 20)
@@ -322,6 +326,7 @@ class GUPSWorkload(KernelAdapter):
 
     name = "gups"
     description = "HPCC RandomAccess (atomic XOR16 vs read-modify-write)"
+    accepts_sim = False
 
     _TABLE_BASE = 1 << 20
 
@@ -407,6 +412,7 @@ class BFSWorkload(KernelAdapter):
 
     name = "bfs"
     description = "level-synchronous BFS (CASEQ8 visited-marking vs rmw)"
+    accepts_sim = False
     engine_drivable = False
 
     def default_params(self) -> Dict[str, Any]:
@@ -465,6 +471,7 @@ class HistogramWorkload(KernelAdapter):
 
     name = "hist"
     description = "histogram binning (atomic / posted / rmw increments)"
+    accepts_sim = False
 
     _BINS_BASE = 1 << 20
 
@@ -560,6 +567,7 @@ class PointerChaseWorkload(KernelAdapter):
 
     name = "chase"
     description = "pointer-chase latency kernel (sequential or scattered)"
+    accepts_sim = False
     cli_kernel = False  # has its own `chase` subcommand (single-thread)
 
     def default_params(self) -> Dict[str, Any]:
@@ -641,7 +649,7 @@ class BarrierWorkload(KernelAdapter):
         }
 
     def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
-        if not sim.cmc.operations():
+        if sim.cmc.lookup(4) is None:
             sim.load_cmc("repro.cmc_ops.fadd64")
         sim.mem_write(params["addr"], bytes(16))
 
@@ -698,6 +706,7 @@ class SSSPWorkload(KernelAdapter):
 
     name = "sssp"
     description = "single-source shortest paths (CMC07 amin64 vs rmw)"
+    accepts_sim = False
     engine_drivable = False
 
     def default_params(self) -> Dict[str, Any]:

@@ -79,6 +79,12 @@ class WorkloadFrontend(ABC):
         Whether the single-engine run can be captured by the trace
         recorder (multi-phase kernels that run several engines are
         not).
+    ``accepts_sim``
+        Whether :meth:`run` can execute on a caller-provided warm
+        simulation context (``sim=``).  False for frontends that must
+        build their own context (multi-phase kernels, trace replay);
+        the serve layer uses this to decide whether a session
+        submission runs on the session's warm sim or a fresh one.
     """
 
     name: str = ""
@@ -87,6 +93,7 @@ class WorkloadFrontend(ABC):
     kind: str = "kernel"
     supports_faults: bool = False
     recordable: bool = False
+    accepts_sim: bool = True
 
     # -- parameters -----------------------------------------------------------
 

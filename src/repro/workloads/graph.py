@@ -318,7 +318,7 @@ class CounterGraphWorkload(GraphWorkload):
     def prepare(self, sim: HMCSim, params: Dict[str, Any]) -> None:
         from repro.cmc_ops.mutex import init_lock, load_mutex_ops
 
-        if not sim.cmc.operations():
+        if sim.cmc.lookup(125) is None:
             load_mutex_ops(sim)
         init_lock(sim, params["lock_addr"])
         sim.mem_write(params["counter_addr"], bytes(16))

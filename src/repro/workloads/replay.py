@@ -362,6 +362,7 @@ class TraceReplayWorkload(WorkloadFrontend):
     name = "trace"
     kind = "trace"
     description = "replay a recorded or converted workload trace"
+    accepts_sim = False  # replay reconstructs its context from the header
 
     def default_params(self) -> Dict[str, Any]:
         return {

@@ -195,3 +195,67 @@ class TestProgress:
         assert all(c[1] == 4 for c in calls)
         assert [c[2] for c in calls] == axis
         assert all(c[3] for c in calls)  # warm run: every point cached
+
+
+def _boom_runner(spec):
+    """Worker-side runner that fails on one sweep point (picklable by
+    dotted path, like every TaskSpec runner)."""
+    if spec.threads == 5:
+        raise ValueError(f"boom at {spec.threads}")
+    return spec.threads
+
+
+def _boom_specs(n=8):
+    from repro.parallel.tasks import TaskSpec
+
+    cfg = HMCConfig.cfg_4link_4gb()
+    return [
+        TaskSpec(
+            kernel="boom",
+            kernel_version="1",
+            runner="tests.analysis.test_parallel:_boom_runner",
+            config=cfg,
+            threads=t,
+        )
+        for t in range(2, 2 + n)
+    ]
+
+
+class TestWorkerCleanup:
+    """A failing chunk (or an interrupt) must not leak pool processes:
+    the executor terminates and *joins* its workers before the error
+    propagates — load-bearing once the serve fleet multiplexes
+    long-lived sessions over this pool."""
+
+    def _assert_no_orphans(self):
+        import multiprocessing
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_failing_chunk_does_not_leak_workers(self):
+        ex = SweepExecutor(jobs=2, chunk_size=1)
+        with pytest.raises(ValueError, match="boom"):
+            ex.run(_boom_specs())
+        self._assert_no_orphans()
+
+    def test_successful_run_reaps_workers(self):
+        results = SweepExecutor(jobs=2, chunk_size=1).run(
+            [s for s in _boom_specs() if s.threads != 5]
+        )
+        assert results == [t for t in range(2, 10) if t != 5]
+        self._assert_no_orphans()
+
+    def test_parent_side_error_does_not_leak_workers(self):
+        # An exception raised in the parent's per-point bookkeeping
+        # (progress hook) mid-imap takes the same terminate path.
+        def bad_progress(done, total, spec, hit):
+            raise RuntimeError("progress exploded")
+
+        ex = SweepExecutor(jobs=2, chunk_size=1, progress=bad_progress)
+        with pytest.raises(RuntimeError, match="progress exploded"):
+            ex.run([s for s in _boom_specs() if s.threads != 5])
+        self._assert_no_orphans()

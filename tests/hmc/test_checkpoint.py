@@ -53,15 +53,29 @@ class TestSaveRestore:
         rsp = roundtrip(sim2, sim2.build_memrequest(hmc_rqst_t.INC8, 0x40, 1))
         assert sim2.mem_read(0x40, 8) == b"\x08" + bytes(7)
 
-    def test_cmc_ops_not_serialized(self, cfg4, tmp_path):
+    def test_cmc_ops_reload_with_counters(self, cfg4, tmp_path):
+        # The op's *code* is never serialized, but its importable
+        # source and execution counter are: restore re-loads the
+        # plugin and the cumulative count survives — a warm serve
+        # session resumed from checkpoint reports the same
+        # cmc_executions an uninterrupted one would.
         sim = HMCSim(cfg4)
-        sim.load_cmc("repro.cmc_ops.lock")
+        op = sim.load_cmc("repro.cmc_ops.lock")
+        op.executions = 7
         p = save_checkpoint(sim, tmp_path / "cp.json")
         sim2 = HMCSim(cfg4)
         restore_checkpoint(sim2, p)
-        assert len(sim2.cmc) == 0  # plugins are code: reload explicitly
-        sim2.load_cmc("repro.cmc_ops.lock")
         assert 125 in sim2.cmc
+        assert sim2.cmc.get(125).executions == 7
+
+    def test_cmc_ops_already_loaded_counter_restored(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        sim.load_cmc("repro.cmc_ops.lock").executions = 3
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        sim2 = HMCSim(cfg4)
+        sim2.load_cmc("repro.cmc_ops.lock")  # pre-loaded by the caller
+        restore_checkpoint(sim2, p)
+        assert sim2.cmc.get(125).executions == 3
 
 
 class TestMidFlightTopology:
@@ -401,3 +415,59 @@ class TestBarrierKernel:
         r2 = run_barrier_workload(cfg4, 8, rounds=2)
         r6 = run_barrier_workload(cfg4, 8, rounds=6)
         assert r6.total_cycles > r2.total_cycles
+
+
+class TestRejectionDiagnostics:
+    """Rejection messages must be actionable: the serve layer surfaces
+    them verbatim to remote clients, so each one names the offending
+    version or the exact fingerprint fields that differ."""
+
+    def test_version_error_names_both_sides(self, cfg4, tmp_path):
+        sim = HMCSim(cfg4)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        doc = json.loads(p.read_text())
+        doc["version"] = 99
+        p.write_text(json.dumps(doc))
+        with pytest.raises(HMCSimError) as exc:
+            restore_checkpoint(HMCSim(cfg4), p)
+        msg = str(exc.value)
+        assert "99" in msg  # the file's actual version
+        assert "2, 3, 4" in msg  # every supported version
+        assert "cp.json" in msg  # which file was rejected
+
+    def test_config_error_names_differing_fields(self, cfg4, cfg8, tmp_path):
+        p = save_checkpoint(HMCSim(cfg4), tmp_path / "cp.json")
+        with pytest.raises(HMCSimError) as exc:
+            restore_checkpoint(HMCSim(cfg8), p)
+        msg = str(exc.value)
+        assert "num_links" in msg and "capacity" in msg  # the fields that differ
+        assert "checkpoint has 4" in msg and "target has 8" in msg
+        # Fields that agree must not clutter the diagnostic.
+        assert "num_vaults" not in msg and "queue_depth" not in msg
+
+    def test_component_mismatch_names_the_seam(self, cfg4, tmp_path):
+        from dataclasses import replace
+
+        p = save_checkpoint(HMCSim(cfg4), tmp_path / "cp.json")
+        other = HMCSim(replace(cfg4, vault_scheduler="round_robin"))
+        with pytest.raises(HMCSimError) as exc:
+            restore_checkpoint(other, p)
+        msg = str(exc.value)
+        assert "vault_scheduler" in msg
+        assert "'round_robin'" in msg
+
+    def test_fault_plan_error_names_seed_and_plan(self, tmp_path):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.parse(["xbar_drop=0.25"], seed=0xAAAA)
+        sim = HMCSim(HMCConfig.cfg_4link_4gb(), faults=plan)
+        p = save_checkpoint(sim, tmp_path / "cp.json")
+        other = HMCSim(
+            HMCConfig.cfg_4link_4gb(),
+            faults=FaultPlan.parse(["xbar_drop=0.25"], seed=0xBBBB),
+        )
+        with pytest.raises(HMCSimError) as exc:
+            restore_checkpoint(other, p)
+        msg = str(exc.value)
+        assert "seed: checkpoint has 0xaaaa" in msg
+        assert "target has 0xbbbb" in msg

@@ -145,3 +145,25 @@ class TestInterleaveOption:
             loads[mode] = sum(1 for p in processed if p > 0)
         assert loads["vault"] == 16  # 16 distinct vaults touched
         assert loads["bank"] == 1  # all 16 blocks in vault 0's banks
+
+
+class TestZeroLengthWindow:
+    """Regression: a zero-length injection window must report a rate of
+    0.0, not raise ZeroDivisionError (which also poisoned ``saturated``)."""
+
+    def test_achieved_rate_zero_duration(self):
+        from repro.host.openloop import OpenLoopStats
+
+        s = OpenLoopStats(
+            config_name="x", pattern="uniform", offered_rate=2.0,
+            duration=0, injected=0, completed=0, backlogged=0,
+            drain_cycles=0,
+        )
+        assert s.achieved_rate == 0.0
+        assert s.saturated is True  # offered load, nothing achieved
+
+    def test_run_open_loop_zero_duration(self, cfg):
+        s = run_open_loop(cfg, offered_rate=2.0, duration=0)
+        assert s.achieved_rate == 0.0
+        assert s.completed == 0
+        assert s.saturated is True

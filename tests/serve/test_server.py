@@ -1,0 +1,226 @@
+"""SimServer over a real socket: admission, quotas, streams, drain."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import schemas
+from repro.serve.client import ServeClient
+
+
+def _mutex(threads=2):
+    return {"workload": "mutex", "params": {"threads": threads}}
+
+
+class TestProtocol:
+    def test_hello_reports_limits(self, make_server):
+        server = make_server(max_sessions=3)
+        with ServeClient(str(server.config.socket_path)) as client:
+            reply = client.hello()
+            assert reply["protocol"] == schemas.PROTOCOL_VERSION
+            assert reply["limits"]["max_sessions"] == 3
+            assert reply["draining"] is False
+
+    def test_unknown_session_refused(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            with pytest.raises(ServeError) as exc:
+                client.stat("ghost")
+            assert exc.value.code == "unknown_session"
+
+    def test_malformed_line_gets_structured_error(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            client._sock.sendall(b"{broken\n")
+            msg = client._read_message()
+            assert msg["type"] == "error"
+            assert msg["code"] == "bad_request"
+
+    def test_wrong_protocol_version(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            client._sock.sendall(
+                (json.dumps({"v": 99, "id": "x", "type": "hello"}) + "\n").encode()
+            )
+            msg = client._read_message()
+            assert msg["code"] == "protocol_version"
+
+
+class TestAdmission:
+    def test_create_and_submit_wait(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create(session="alpha")
+            assert name == "alpha"
+            reply = client.submit(name, "workload", _mutex(), wait=True)
+            assert reply["status"] == "done"
+            assert reply["payload"]["workload"] == "mutex"
+
+    def test_session_cap(self, make_server):
+        server = make_server(max_sessions=1)
+        with ServeClient(str(server.config.socket_path)) as client:
+            client.create()
+            with pytest.raises(ServeError) as exc:
+                client.create()
+            assert exc.value.code == "over_capacity"
+
+    def test_duplicate_name_refused(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            client.create(session="dup")
+            with pytest.raises(ServeError) as exc:
+                client.create(session="dup")
+            assert exc.value.code == "bad_request"
+
+    def test_submission_quota(self, make_server):
+        server = make_server(max_requests_per_session=2)
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            client.submit(name, "workload", _mutex(), wait=True)
+            client.submit(name, "workload", _mutex(), wait=True)
+            with pytest.raises(ServeError) as exc:
+                client.submit(name, "workload", _mutex())
+            assert exc.value.code == "quota_exceeded"
+
+    def test_bad_component_is_structured(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            with pytest.raises(ServeError) as exc:
+                client.create(components={"xbar": "nope"})
+            assert exc.value.code == "bad_request"
+
+    def test_tiny_queue_still_completes(self, make_server):
+        # queue_depth=1 forces the backpressure path: later submits
+        # wait for queue space instead of erroring.
+        server = make_server(queue_depth=1)
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            for _ in range(4):
+                client.submit(name, "workload", _mutex())
+            reply = client.submit(name, "workload", _mutex(), wait=True)
+            assert reply["status"] == "done"
+            snap = client.stat(name)["snapshot"]
+            assert snap["done"] == 5
+
+
+class TestStreams:
+    def test_attach_replays_history(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            client.submit(name, "workload", _mutex(), wait=True)
+            client.submit(name, "workload", _mutex(4), wait=True)
+            reply = client.attach(name)
+            assert reply["snapshot"]["done"] == 2
+            history = reply["history"]
+            assert [m["submission"] for m in history] == [1, 2]
+            assert all(m["ok"] for m in history)
+
+    def test_attached_client_sees_live_results(self, make_server):
+        server = make_server()
+        sock = str(server.config.socket_path)
+        with ServeClient(sock) as watcher, ServeClient(sock) as submitter:
+            name = submitter.create()
+            watcher.attach(name, replay=False)
+            submitter.submit(name, "workload", _mutex(), wait=True)
+            msg = watcher.wait_result(name, 1)
+            assert msg["ok"] is True
+            assert msg["payload"]["workload"] == "mutex"
+
+    def test_close_session(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            client.submit(name, "workload", _mutex(), wait=True)
+            reply = client.close_session(name)
+            assert reply["state"] == "closed"
+            with pytest.raises(ServeError) as exc:
+                client.submit(name, "workload", _mutex())
+            assert exc.value.code == "unknown_session"
+
+
+class TestConcurrency:
+    def test_four_concurrent_clients_bit_identical(self, make_server):
+        import threading
+
+        server = make_server()
+        sock = str(server.config.socket_path)
+        jobs = [
+            ("c1", _mutex(2)),
+            ("c2", _mutex(4)),
+            ("c3", {"workload": "ticket", "params": {"threads": 2}}),
+            ("c4", {"workload": "barrier", "params": {"threads": 2}}),
+        ]
+        payloads = {}
+        errors = []
+
+        def drive(name, spec):
+            try:
+                with ServeClient(sock, timeout=300.0) as client:
+                    session = client.create(session=name)
+                    reply = client.submit(session, "workload", spec, wait=True)
+                    assert reply["status"] == "done"
+                    payloads[name] = schemas.canonical_json(reply["payload"])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=drive, args=job) for job in jobs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, errors
+        assert len(payloads) == 4
+
+        # Byte-for-byte against direct (serverless) runs.
+        from repro.hmc.config import HMCConfig
+        from repro.workloads.registry import WORKLOADS
+
+        for name, spec in jobs:
+            frontend = WORKLOADS.get(spec["workload"])
+            params = frontend.resolve_params(spec["params"])
+            stats = frontend.run(HMCConfig.cfg_4link_4gb(), params)
+            direct = schemas.canonical_json(
+                {
+                    "workload": spec["workload"],
+                    "warm": frontend.accepts_sim,
+                    "fingerprint": WORKLOADS.fingerprint(spec["workload"]),
+                    "stats": schemas.encode_value(stats),
+                }
+            )
+            assert payloads[name] == direct, spec["workload"]
+
+
+class TestDrain:
+    def test_drain_checkpoints_and_refuses(self, make_server, serve_dirs):
+        _sock, state, _cache = serve_dirs
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            client.submit(name, "workload", _mutex(), wait=True)
+        server.stop()
+        assert not server.config.socket_path.exists()
+        meta = json.loads((state / name / "meta.json").read_text())
+        assert meta["checkpointed_through"] == 1
+        assert (state / name / "checkpoint.json").exists()
+
+    def test_restart_resumes_sessions(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            client.submit(name, "workload", _mutex(), wait=True)
+        server.stop()
+
+        revived = make_server()
+        with ServeClient(str(revived.config.socket_path)) as client:
+            snap = client.stat(name)["snapshot"]
+            assert snap["resumed"] is True
+            assert snap["done"] == 1
+            # The revived warm session still accepts work.
+            reply = client.submit(name, "workload", _mutex(), wait=True)
+            assert reply["status"] == "done"

@@ -1,0 +1,220 @@
+"""SimSession: journal durability, fences, validation, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.session import SessionState, SimSession, build_session_config
+
+
+def _mutex(threads=2):
+    return {"workload": "mutex", "params": {"threads": threads}}
+
+
+def make_session(root, name="s1", **kwargs):
+    return SimSession(name, "4link_4gb", root=root, **kwargs)
+
+
+class TestConfig:
+    def test_named_configs(self):
+        assert build_session_config("4link_4gb", {}).num_links == 4
+        assert build_session_config("8link_8gb", {}).num_links == 8
+
+    def test_unknown_config(self):
+        with pytest.raises(ServeError) as exc:
+            build_session_config("16link", {})
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_seam(self):
+        with pytest.raises(ServeError) as exc:
+            build_session_config("4link_4gb", {"alu": "fast"})
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_impl(self):
+        with pytest.raises(ServeError) as exc:
+            build_session_config("4link_4gb", {"xbar": "warp-drive"})
+        assert exc.value.code == "bad_request"
+
+    def test_component_override_applies(self):
+        cfg = build_session_config("4link_4gb", {"xbar": "ideal"})
+        assert cfg.xbar == "ideal"
+
+
+class TestJournal:
+    def test_accept_journals_before_execution(self, tmp_path):
+        session = make_session(tmp_path)
+        seq = session.accept("workload", _mutex())
+        assert seq == 1
+        doc = json.loads(session.meta_path.read_text())
+        assert doc["submissions"][0]["status"] == "pending"
+        assert doc["checkpointed_through"] == 0
+
+    def test_execute_fences_and_stores_result(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept("workload", _mutex())
+        rec = session.execute_next()
+        assert rec.status == "done"
+        assert session.checkpointed_through == 1
+        assert session.checkpoint_path.exists()
+        payload = session.load_result(1)
+        assert payload["workload"] == "mutex"
+        assert payload["warm"] is True
+
+    def test_execute_next_empty(self, tmp_path):
+        assert make_session(tmp_path).execute_next() is None
+
+    def test_checkpoint_every_spaces_fences(self, tmp_path):
+        session = make_session(tmp_path, checkpoint_every=2)
+        for _ in range(3):
+            session.accept("workload", _mutex())
+        session.execute_next()
+        # seq 1 is not a fence multiple, but submissions remain pending,
+        # so no fence yet.
+        assert session.checkpointed_through == 0
+        session.execute_next()
+        assert session.checkpointed_through == 2
+        session.execute_next()  # last pending -> forced fence
+        assert session.checkpointed_through == 3
+
+    def test_failed_submission_does_not_kill_session(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept("workload", {"workload": "mutex", "params": {"threads": 2, "max_cycles": 1}})
+        rec = session.execute_next()
+        assert rec.status == "failed"
+        assert rec.error
+        # The session fenced anyway and still runs new work.
+        session.accept("workload", _mutex())
+        assert session.execute_next().status == "done"
+
+    def test_accept_refused_while_draining(self, tmp_path):
+        session = make_session(tmp_path)
+        session.drain()
+        with pytest.raises(ServeError) as exc:
+            session.accept("workload", _mutex())
+        assert exc.value.code == "draining"
+
+
+class TestValidation:
+    def test_unknown_workload(self, tmp_path):
+        session = make_session(tmp_path)
+        with pytest.raises(ServeError) as exc:
+            session.accept("workload", {"workload": "does-not-exist"})
+        assert exc.value.code == "bad_request"
+
+    def test_raw_unknown_command(self, tmp_path):
+        session = make_session(tmp_path)
+        with pytest.raises(ServeError) as exc:
+            session.accept("raw", {"requests": [{"cmd": "FROB", "addr": 0}]})
+        assert exc.value.code == "bad_request"
+
+    def test_raw_missing_addr(self, tmp_path):
+        session = make_session(tmp_path)
+        with pytest.raises(ServeError):
+            session.accept("raw", {"requests": [{"cmd": "RD64"}]})
+
+    def test_sweep_bad_threads(self, tmp_path):
+        session = make_session(tmp_path)
+        with pytest.raises(ServeError):
+            session.accept("sweep", {"workload": "mutex", "threads": []})
+        with pytest.raises(ServeError):
+            session.accept("sweep", {"workload": "mutex", "threads": [0]})
+
+    def test_rejected_spec_not_journaled(self, tmp_path):
+        session = make_session(tmp_path)
+        with pytest.raises(ServeError):
+            session.accept("workload", {"workload": "nope"})
+        assert session.submissions == []
+
+
+class TestKinds:
+    def test_raw_stream(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept(
+            "raw",
+            {
+                "requests": [
+                    {"cmd": "WR64", "addr": 0x1000, "data": "ab" * 64},
+                    {"cmd": "RD64", "addr": 0x1000},
+                ]
+            },
+        )
+        rec = session.execute_next()
+        assert rec.status == "done"
+        payload = session.load_result(1)
+        assert payload["issued"] == 2
+        assert len(payload["responses"]) == 2
+
+    def test_sweep_in_process(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept("sweep", {"workload": "mutex", "threads": [2, 4]})
+        rec = session.execute_next()
+        assert rec.status == "done"
+        payload = session.load_result(1)
+        assert payload["threads"] == [2, 4]
+        assert len(payload["results"]) == 2
+
+    def test_cold_frontend_runs(self, tmp_path):
+        # stream builds its own context (accepts_sim=False); the serve
+        # layer must not hand it the warm sim.
+        session = make_session(tmp_path)
+        session.accept(
+            "workload",
+            {"workload": "stream", "params": {"threads": 2, "blocks_per_thread": 2}},
+        )
+        rec = session.execute_next()
+        assert rec.status == "done"
+        assert session.load_result(1)["warm"] is False
+
+    def test_mixed_cmc_families_on_one_warm_sim(self, tmp_path):
+        # mutex (125) then ticket (21): the per-code prepare guards must
+        # load the second family even though ops already exist.
+        session = make_session(tmp_path)
+        session.accept("workload", _mutex())
+        session.accept(
+            "workload", {"workload": "ticket", "params": {"threads": 2}}
+        )
+        assert session.execute_next().status == "done"
+        assert session.execute_next().status == "done"
+
+
+class TestResume:
+    def test_load_rewinds_past_fence(self, tmp_path):
+        session = make_session(tmp_path, checkpoint_every=10)
+        for _ in range(3):
+            session.accept("workload", _mutex())
+        session.execute_next()
+        session.execute_next()
+        # Simulate a kill: forget the object, reload from disk.  The
+        # fence only covers... nothing (checkpoint_every=10 and work is
+        # still pending), so all three rewind to pending.
+        loaded = SimSession.load(session.root)
+        assert loaded.resumed is True
+        assert [r.status for r in loaded.submissions] == ["pending"] * 3
+
+    def test_load_keeps_fenced_results(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept("workload", _mutex())
+        session.execute_next()
+        loaded = SimSession.load(session.root)
+        assert loaded.checkpointed_through == 1
+        assert loaded.submissions[0].status == "done"
+        assert loaded.pending() == []
+
+    def test_closed_sessions_stay_closed(self, tmp_path):
+        session = make_session(tmp_path)
+        session.accept("workload", _mutex())
+        session.execute_next()
+        session.close()
+        loaded = SimSession.load(session.root)
+        assert loaded.state == SessionState.CLOSED
+
+    def test_failed_submissions_not_replayed(self, tmp_path):
+        session = make_session(tmp_path, checkpoint_every=10)
+        session.accept("workload", {"workload": "mutex", "params": {"threads": 2, "max_cycles": 1}})
+        session.execute_next()
+        loaded = SimSession.load(session.root)
+        assert loaded.submissions[0].status == "failed"
+        assert loaded.pending() == []
