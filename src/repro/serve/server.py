@@ -87,6 +87,8 @@ class _SessionHandle:
         self.subscribers: Set[asyncio.StreamWriter] = set()
         #: seq -> event set when that submission finishes (wait-mode).
         self.done_events: Dict[int, asyncio.Event] = {}
+        #: A close is in flight: no new submissions, no worker restarts.
+        self.closing = False
 
 
 class SimServer:
@@ -139,7 +141,12 @@ class SimServer:
         if self.config.socket_path.exists():
             self.config.socket_path.unlink()
         self._server = await asyncio.start_unix_server(
-            self._handle_client, path=str(self.config.socket_path)
+            self._handle_client,
+            path=str(self.config.socket_path),
+            # readline() enforces the StreamReader limit (default
+            # 64 KiB); the protocol allows _MAX_LINE-byte messages,
+            # plus slack so an over-limit line is *our* diagnostic.
+            limit=schemas._MAX_LINE + 1024,
         )
 
     def _resume_sessions(self) -> None:
@@ -260,6 +267,8 @@ class SimServer:
     # -- per-session worker ----------------------------------------------------
 
     def _start_worker(self, handle: _SessionHandle) -> None:
+        if handle.closing:
+            return
         if handle.worker is None or handle.worker.done():
             handle.worker = asyncio.ensure_future(self._worker(handle))
 
@@ -270,27 +279,45 @@ class SimServer:
             seq = await handle.queue.get()
             if seq is None:
                 return
-            rec = await loop.run_in_executor(
-                self._executor, handle.session.execute_next
-            )
+            try:
+                rec = await loop.run_in_executor(
+                    self._executor, handle.session.execute_next
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - fault barrier
+                # execute_next converts segment errors into a failed
+                # record; reaching here means the fence itself (drain,
+                # checkpoint, persist) blew up.  Fail the head record
+                # so a restarted worker does not re-pick the same
+                # poisoned submission, and keep this worker alive —
+                # a silent death would wedge the session and block
+                # wait-mode clients forever.
+                rec = handle.session.fail_next(
+                    f"{type(exc).__name__}: {exc}"
+                )
             if rec is None:
                 continue
-            payload = handle.session.load_result(rec.seq)
-            msg = schemas.result_msg(
-                handle.session.name,
-                rec.seq,
-                rec.kind,
-                payload,
-                ok=rec.status == "done",
-                error=rec.error,
-            )
-            await self._broadcast(handle, msg)
-            await self._broadcast(
-                handle, schemas.telemetry_msg(handle.session.snapshot())
-            )
-            event = handle.done_events.pop(rec.seq, None)
-            if event is not None:
-                event.set()
+            try:
+                payload = handle.session.load_result(rec.seq)
+                msg = schemas.result_msg(
+                    handle.session.name,
+                    rec.seq,
+                    rec.kind,
+                    payload,
+                    ok=rec.status == "done",
+                    error=rec.error,
+                )
+                await self._broadcast(handle, msg)
+                await self._broadcast(
+                    handle, schemas.telemetry_msg(handle.session.snapshot())
+                )
+            finally:
+                # Wait-mode clients block on this event; release them
+                # even if streaming the result out failed.
+                event = handle.done_events.pop(rec.seq, None)
+                if event is not None:
+                    event.set()
 
     async def _broadcast(self, handle: _SessionHandle, msg: Dict[str, Any]) -> None:
         data = schemas.encode_message(msg)
@@ -318,7 +345,27 @@ class SimServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
+                except ConnectionError:
+                    break
+                except ValueError:
+                    # readline() wraps LimitOverrunError in ValueError,
+                    # so the bare LimitOverrunError never surfaces. The
+                    # stream cannot be resynced past an over-limit
+                    # line; send a structured refusal, then hang up.
+                    writer.write(
+                        schemas.encode_message(
+                            schemas.error_msg(
+                                None,
+                                "bad_request",
+                                f"message exceeds the {schemas._MAX_LINE}"
+                                f"-byte line limit",
+                            )
+                        )
+                    )
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
                     break
                 if not line:
                     break
@@ -412,8 +459,17 @@ class SimServer:
             )
         name = req.session
         if name is None:
-            self._session_counter += 1
-            name = f"session-{self._session_counter:04d}"
+            # The counter restarts at 0 with the server, but resumed
+            # handles and closed sessions' directories persist — skip
+            # past both so an auto-named create never collides.
+            while True:
+                self._session_counter += 1
+                name = f"session-{self._session_counter:04d}"
+                if (
+                    name not in self.handles
+                    and not (self.config.state_dir / name).exists()
+                ):
+                    break
         if name in self.handles:
             raise ServeError(
                 "bad_request", f"session {name!r} already exists"
@@ -446,6 +502,10 @@ class SimServer:
         if self.draining:
             raise ServeError("draining", "server is draining; no new work")
         handle = self._handle(req.session)
+        if handle.closing:
+            raise ServeError(
+                "draining", f"session {handle.session.name!r} is closing"
+            )
         session = handle.session
         if len(session.submissions) >= self.config.max_requests_per_session:
             raise ServeError(
@@ -518,7 +578,18 @@ class SimServer:
 
     async def _do_close(self, req: schemas.Request) -> Dict[str, Any]:
         handle = self._handle(req.session)
+        if handle.closing:
+            raise ServeError(
+                "draining", f"session {handle.session.name!r} is closing"
+            )
         session = handle.session
+        # Mark the handle closing and unregister it *before* the first
+        # await: a concurrent close now gets unknown_session/draining
+        # instead of a double-delete, and a racing submit cannot
+        # journal new work or restart the worker while session.close()
+        # runs on the executor.
+        handle.closing = True
+        del self.handles[session.name]
         # Let the worker finish what is queued, then fence and close.
         await handle.queue.put(None)
         if handle.worker is not None:
@@ -528,7 +599,6 @@ class SimServer:
         await self._broadcast(
             handle, schemas.telemetry_msg(session.snapshot())
         )
-        del self.handles[session.name]
         return schemas.ok_msg(
             req.id, session=session.name, state=session.state.value
         )

@@ -53,6 +53,7 @@ import enum
 import json
 import os
 import tempfile
+import threading
 from dataclasses import asdict, dataclass, replace as _replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
@@ -173,6 +174,11 @@ class SimSession:
         self.submissions: List[SubmissionRecord] = []
         self.checkpointed_through = 0
         self.resumed = False
+        # accept() runs on the event-loop thread while execute_next()/
+        # drain()/close() run on executor threads; every journal
+        # mutation + meta write pairs under this lock so concurrent
+        # writers cannot persist a snapshot that drops an acked record.
+        self._meta_lock = threading.Lock()
 
         self.config = build_session_config(config_name, self.components)
         from repro.hmc.sim import HMCSim
@@ -240,6 +246,7 @@ class SimSession:
             SubmissionRecord(**rec) for rec in doc["submissions"]
         ]
         self.resumed = True
+        self._meta_lock = threading.Lock()
 
         self.config = build_session_config(self.config_name, self.components)
         from repro.hmc.sim import HMCSim
@@ -283,9 +290,12 @@ class SimSession:
                 f"accepting submissions",
             )
         self._validate_spec(kind, spec)
-        seq = len(self.submissions) + 1
-        self.submissions.append(SubmissionRecord(seq=seq, kind=kind, spec=spec))
-        self._persist_meta()
+        with self._meta_lock:
+            seq = len(self.submissions) + 1
+            self.submissions.append(
+                SubmissionRecord(seq=seq, kind=kind, spec=spec)
+            )
+            self._persist_meta()
         return seq
 
     def pending(self) -> List[SubmissionRecord]:
@@ -374,10 +384,13 @@ class SimSession:
                 payload = self._run_raw(rec.spec)
             else:
                 payload = self._run_sweep(rec.spec)
-            rec.status = "done"
-        except (HMCSimError, ValueError) as exc:
-            rec.status = "failed"
-            rec.error = f"{type(exc).__name__}: {exc}"
+            status, error = "done", None
+        except Exception as exc:  # noqa: BLE001 - fault barrier: any
+            # schema-valid submission can still blow up in workload
+            # code (e.g. task_spec(**params) with an unknown key raises
+            # TypeError); an escape here would kill the worker and
+            # wedge the session on a permanently-pending record.
+            status, error = "failed", f"{type(exc).__name__}: {exc}"
             payload = None
         # The fence: quiesce, persist the result, advance the journal,
         # checkpoint.  Order matters — the result file must exist
@@ -386,13 +399,37 @@ class SimSession:
         self._reap_orphans()
         if payload is not None:
             _atomic_write(self.result_path(rec.seq), canonical_json(payload))
-        fence = (
-            rec.seq % self.checkpoint_every == 0
-            or not self.pending()
-        )
-        if fence:
-            self._save_fence(rec.seq)
-        self._persist_meta()
+        with self._meta_lock:
+            rec.status = status
+            rec.error = error
+            fence = (
+                rec.seq % self.checkpoint_every == 0
+                or not self.pending()
+            )
+            if fence:
+                self._save_fence(rec.seq)
+            self._persist_meta()
+        return rec
+
+    def fail_next(self, error: str) -> Optional[SubmissionRecord]:
+        """Mark the oldest pending submission failed without running it.
+
+        The server's fault barrier: if :meth:`execute_next` itself
+        raises (the fence code — drain, checkpoint, persist — failed),
+        the head record must not stay pending or a restarted worker
+        would re-pick the same poisoned submission forever.
+        """
+        queue = self.pending()
+        if not queue:
+            return None
+        rec = queue[0]
+        with self._meta_lock:
+            rec.status = "failed"
+            rec.error = error
+            try:
+                self._persist_meta()
+            except OSError:
+                pass  # in-memory state still advances past the poison
         return rec
 
     def _executed_through(self) -> int:
@@ -579,17 +616,19 @@ class SimSession:
         # the fence label must advance to the last executed seq — a
         # stale label would make resume replay work the snapshot
         # already contains, on top of itself.
-        self._save_fence(self._executed_through())
-        self._persist_meta()
+        with self._meta_lock:
+            self._save_fence(self._executed_through())
+            self._persist_meta()
 
     def close(self) -> None:
         """Final fence; the session directory remains readable."""
         if self.state == SessionState.CLOSED:
             return
         self.sim.drain()
-        self._save_fence(self._executed_through())
-        self.state = SessionState.CLOSED
-        self._persist_meta()
+        with self._meta_lock:
+            self._save_fence(self._executed_through())
+            self.state = SessionState.CLOSED
+            self._persist_meta()
 
     def snapshot(self) -> Dict[str, Any]:
         """Telemetry view of the session."""

@@ -142,6 +142,85 @@ class TestStreams:
             assert exc.value.code == "unknown_session"
 
 
+class TestFaultBarrier:
+    def test_bad_sweep_params_fail_submission_not_session(self, make_server):
+        # A TypeError inside the segment (unknown sweep param) used to
+        # kill the worker coroutine and wedge the session; wait-mode
+        # clients would then block forever.
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            name = client.create()
+            reply = client.submit(
+                name,
+                "sweep",
+                {"workload": "mutex", "threads": [2], "params": {"bogus": 1}},
+                wait=True,
+            )
+            assert reply["status"] == "failed"
+            assert "TypeError" in reply["error"]
+            # The worker survived; the session still runs work.
+            reply = client.submit(name, "workload", _mutex(), wait=True)
+            assert reply["status"] == "done"
+
+    def test_large_line_within_protocol_limit(self, make_server):
+        # Bigger than asyncio's 64 KiB StreamReader default, smaller
+        # than the protocol's _MAX_LINE: must parse, not drop the
+        # connection.
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            doc = {
+                "v": schemas.PROTOCOL_VERSION,
+                "id": "big",
+                "type": "hello",
+                "pad": "x" * (128 * 1024),
+            }
+            client._sock.sendall((json.dumps(doc) + "\n").encode())
+            msg = client._read_message()
+            assert msg["type"] == "ok"
+            assert msg["id"] == "big"
+
+    def test_over_limit_line_structured_error(self, make_server):
+        server = make_server()
+        with ServeClient(str(server.config.socket_path), timeout=120.0) as client:
+            client._sock.sendall(b"x" * (schemas._MAX_LINE + 64 * 1024) + b"\n")
+            msg = client._read_message()
+            assert msg["type"] == "error"
+            assert msg["code"] == "bad_request"
+            assert "limit" in msg["message"]
+
+    def test_concurrent_close_is_structured(self, make_server):
+        import threading
+
+        server = make_server()
+        sock = str(server.config.socket_path)
+        with ServeClient(sock) as c1, ServeClient(sock) as c2:
+            name = c1.create(session="races")
+            c1.submit(name, "workload", _mutex(), wait=True)
+            codes = []
+
+            def close_from(client):
+                try:
+                    client.close_session(name)
+                    codes.append("ok")
+                except ServeError as exc:
+                    codes.append(exc.code)
+
+            threads = [
+                threading.Thread(target=close_from, args=(c,))
+                for c in (c1, c2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        # Exactly one close wins; the loser gets a structured refusal,
+        # never a KeyError surfaced as "internal".
+        assert sorted(codes) in (
+            ["draining", "ok"],
+            ["ok", "unknown_session"],
+        ), codes
+
+
 class TestConcurrency:
     def test_four_concurrent_clients_bit_identical(self, make_server):
         import threading
@@ -208,6 +287,18 @@ class TestDrain:
         meta = json.loads((state / name / "meta.json").read_text())
         assert meta["checkpointed_through"] == 1
         assert (state / name / "checkpoint.json").exists()
+
+    def test_auto_names_skip_resumed_sessions(self, make_server):
+        # The counter restarts at 0 with the server; auto-naming must
+        # skip names taken by resumed handles and on-disk directories.
+        server = make_server()
+        with ServeClient(str(server.config.socket_path)) as client:
+            first = client.create()
+        server.stop()
+        revived = make_server()
+        with ServeClient(str(revived.config.socket_path)) as client:
+            second = client.create()
+            assert second != first
 
     def test_restart_resumes_sessions(self, make_server):
         server = make_server()

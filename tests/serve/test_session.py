@@ -89,6 +89,31 @@ class TestJournal:
         session.accept("workload", _mutex())
         assert session.execute_next().status == "done"
 
+    def test_sweep_bad_params_fail_record_not_session(self, tmp_path):
+        # task_spec(**params) with an unknown key raises TypeError —
+        # outside the old (HMCSimError, ValueError) net — which used to
+        # escape execute_next and leave the record pending forever.
+        session = make_session(tmp_path)
+        session.accept(
+            "sweep",
+            {"workload": "mutex", "threads": [2], "params": {"bogus": 1}},
+        )
+        rec = session.execute_next()
+        assert rec.status == "failed"
+        assert "TypeError" in rec.error
+        session.accept("workload", _mutex())
+        assert session.execute_next().status == "done"
+
+    def test_fail_next_marks_head_failed(self, tmp_path):
+        session = make_session(tmp_path)
+        assert session.fail_next("boom") is None
+        session.accept("workload", _mutex())
+        rec = session.fail_next("RuntimeError: boom")
+        assert rec.status == "failed"
+        assert session.pending() == []
+        doc = json.loads(session.meta_path.read_text())
+        assert doc["submissions"][0]["status"] == "failed"
+
     def test_accept_refused_while_draining(self, tmp_path):
         session = make_session(tmp_path)
         session.drain()
